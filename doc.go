@@ -1,0 +1,23 @@
+// Package cij reproduces "Common Influence Join: A Natural Join Operation
+// for Spatial Pointsets" (Yiu, Mamoulis, Karras; ICDE 2008) as a
+// self-contained Go library.
+//
+// Given two planar pointsets P and Q, the common influence join CIJ(P,Q)
+// returns every pair (p, q) whose Voronoi cells V(p,P) and V(q,Q)
+// intersect: some location in space is simultaneously closer to p than to
+// any other point of P and closer to q than to any other point of Q. The
+// join is parameter-free — no distance threshold ε and no result count k.
+//
+// The implementation lives under internal/ (see README.md for the
+// architecture): geometry (internal/geom), a simulated paged disk with an
+// LRU buffer (internal/storage), a disk-resident R-tree
+// (internal/rtree), single-traversal and batch Voronoi cell computation
+// (internal/voronoi), the three CIJ evaluation algorithms FM/PM/NM
+// (internal/core), the traditional join operators used as baselines
+// (internal/joins), dataset generators (internal/dataset), and the
+// experiment harness regenerating every table and figure of the paper
+// (internal/exp, driven by cmd/cijbench).
+//
+// The benchmarks in bench_test.go exercise one paper artifact each at
+// reduced scale; cmd/cijbench runs them at paper scale.
+package cij

@@ -1,0 +1,55 @@
+// Quickstart: compute a common influence join between two small pointsets
+// and inspect a common-influence region.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"cij/internal/core"
+	"cij/internal/dataset"
+	"cij/internal/exp"
+	"cij/internal/voronoi"
+)
+
+func main() {
+	// Two pointsets on the normalized [0,10000]² domain.
+	p := dataset.Uniform(500, 42) // e.g. restaurants
+	q := dataset.Uniform(400, 43) // e.g. cinemas
+
+	// Index both on a simulated disk with the paper's defaults (1 KB
+	// pages, LRU buffer = 2% of data size).
+	env := exp.BuildEnv(p, q, exp.DefaultPageSize, exp.DefaultBufferPct)
+
+	// NM-CIJ: the paper's non-blocking, near-I/O-optimal algorithm.
+	res := core.NMCIJ(env.RP, env.RQ, exp.Domain, core.DefaultOptions())
+
+	fmt.Printf("CIJ(P,Q) with |P|=%d, |Q|=%d: %d pairs\n", len(p), len(q), len(res.Pairs))
+	fmt.Printf("I/O: %d page accesses (lower bound %d), filter false-hit ratio %.3f\n",
+		res.Stats.PageAccesses(), env.LowerBound(), res.Stats.FalseHitRatio())
+
+	// Every pair (p,q) has a common influence region R(p,q): the set of
+	// locations closer to p than any other P-point AND closer to q than
+	// any other Q-point. Reconstruct it for the first pair.
+	pr := res.Pairs[0]
+	cellP := voronoi.BFVor(env.RP, voronoi.Site{ID: pr.P, Pt: p[pr.P]}, exp.Domain)
+	cellQ := voronoi.BFVor(env.RQ, voronoi.Site{ID: pr.Q, Pt: q[pr.Q]}, exp.Domain)
+	region := cellP.Intersection(cellQ)
+	fmt.Printf("\nfirst pair: P[%d]=%v  Q[%d]=%v\n", pr.P, p[pr.P], pr.Q, q[pr.Q])
+	fmt.Printf("common influence region: area %.1f, centroid %v, %d vertices\n",
+		region.Area(), region.Centroid(), len(region.V))
+
+	// The join is parameter-free: no ε, no k. Contrast the pair distances.
+	minD, maxD := -1.0, 0.0
+	for _, pr := range res.Pairs {
+		d := p[pr.P].Dist(q[pr.Q])
+		if minD < 0 || d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	fmt.Printf("\npair distances span %.1f .. %.1f — no distance threshold reproduces this result\n", minD, maxD)
+}

@@ -1,0 +1,169 @@
+package cij3
+
+import "cij/internal/geom3"
+
+// joinVolumeEps is the minimum intersection volume for two 3D cells to
+// join — the 3D analogue of the 2D area threshold, making the predicate
+// deterministic across evaluation orders.
+const joinVolumeEps = 1e-6
+
+// Pair3 is one 3D CIJ result.
+type Pair3 struct {
+	P, Q int64
+}
+
+// CIJ3 computes the 3D common influence join of two pointsets indexed by
+// kd-trees: all pairs whose 3D Voronoi cells share a region of positive
+// volume. Evaluation follows the NM-CIJ structure: for every q ∈ Q its
+// cell is computed on demand (BFVor3), a conditional filter walks P's
+// tree collecting candidates — with subtree pruning by the face
+// generalization of the Φ(L,p) test — and candidates are refined with
+// exact cells cached across queries (the reuse heuristic of Section
+// IV-B).
+func CIJ3(tp, tq *KDTree, domain geom3.Box3) []Pair3 {
+	var out []Pair3
+	cacheP := map[int64]*geom3.Polyhedron{}
+	eachSite(tq, func(q Site3) {
+		cellQ := BFVor3(tq, q, domain)
+		for _, cand := range conditionalFilter3(tp, cellQ, domain) {
+			cellP, ok := cacheP[cand.ID]
+			if !ok {
+				cellP = BFVor3(tp, cand, domain)
+				cacheP[cand.ID] = cellP
+			}
+			if !cellP.Bounds().Intersects(cellQ.Bounds()) {
+				continue
+			}
+			if geom3.IntersectionVolume(cellP, cellQ) > joinVolumeEps {
+				out = append(out, Pair3{P: cand.ID, Q: q.ID})
+			}
+		}
+	})
+	return out
+}
+
+func eachSite(t *KDTree, fn func(Site3)) {
+	if t.root < 0 {
+		return
+	}
+	var walk func(int)
+	walk = func(idx int) {
+		n := &t.nodes[idx]
+		if n.left < 0 {
+			fn(n.site)
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+}
+
+// conditionalFilter3 returns the candidate sites of tp whose cells may
+// intersect the polyhedron T — Algorithm 5 in 3D. Points are tested with
+// the approximate cell V(p, CP); subtrees are pruned when T falls in
+// Φ(F, p) for all six faces F of the subtree box, for some candidate p
+// (the Lemma 3 argument carries over: a segment from T to any point
+// inside the box crosses a face).
+func conditionalFilter3(tp *KDTree, T *geom3.Polyhedron, domain geom3.Box3) []Site3 {
+	if tp.root < 0 {
+		return nil
+	}
+	anchor := T.Centroid()
+	tBounds := T.Bounds()
+	tVerts := T.Vertices()
+
+	var cp []Site3
+	var h kdHeap
+	h.push(tp.nodes[tp.root].box.MinDist2(anchor), tp.root)
+	for !h.empty() {
+		_, idx := h.pop()
+		n := &tp.nodes[idx]
+		if n.left < 0 {
+			if approxCellIntersects3(n.site, cp, T, tBounds, domain) {
+				cp = append(cp, n.site)
+			}
+			continue
+		}
+		if canPruneBox3(n.box, cp, tVerts, tBounds) {
+			continue
+		}
+		h.push(tp.nodes[n.left].box.MinDist2(anchor), n.left)
+		h.push(tp.nodes[n.right].box.MinDist2(anchor), n.right)
+	}
+	return cp
+}
+
+// approxCellIntersects3 clips the domain by the bisectors of p against
+// the current candidate set and tests the (superset) cell against T.
+func approxCellIntersects3(p Site3, cp []Site3, T *geom3.Polyhedron, tBounds geom3.Box3, domain geom3.Box3) bool {
+	cell := geom3.BoxPolyhedron(domain)
+	for _, c := range cp {
+		if c.Pt.Eq(p.Pt) {
+			continue
+		}
+		cell.Clip(geom3.Bisector3(p.Pt, c.Pt))
+		if cell.IsEmpty() {
+			return false
+		}
+	}
+	if !cell.Bounds().Intersects(tBounds) {
+		return false
+	}
+	return cell.Intersects(T)
+}
+
+// canPruneBox3 prunes a subtree box when no part of T touches it and some
+// candidate dominates it: every vertex of T lies in Φ(F, p) for all six
+// faces F.
+func canPruneBox3(box geom3.Box3, cp []Site3, tVerts []geom3.Vec3, tBounds geom3.Box3) bool {
+	if len(cp) == 0 || box.Intersects(tBounds) {
+		return false
+	}
+	faces := box.Faces()
+	for _, p := range cp {
+		ok := true
+		for _, f := range faces {
+			for _, t := range tVerts {
+				if !f.InPhi(p.Pt, t) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// BruteCIJ3 evaluates the 3D join by definition: both diagrams brute-
+// forced, every cell pair tested on intersection volume. Test oracle.
+func BruteCIJ3(p, q []geom3.Vec3, domain geom3.Box3) []Pair3 {
+	sp := MakeSites3(p)
+	sq := MakeSites3(q)
+	cellsP := make([]*geom3.Polyhedron, len(sp))
+	for i := range sp {
+		cellsP[i] = BruteCell3(sp, i, domain)
+	}
+	cellsQ := make([]*geom3.Polyhedron, len(sq))
+	for i := range sq {
+		cellsQ[i] = BruteCell3(sq, i, domain)
+	}
+	var out []Pair3
+	for i, cp := range cellsP {
+		for j, cq := range cellsQ {
+			if !cp.Bounds().Intersects(cq.Bounds()) {
+				continue
+			}
+			if geom3.IntersectionVolume(cp, cq) > joinVolumeEps {
+				out = append(out, Pair3{P: int64(i), Q: int64(j)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package cij3
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cij/internal/geom3"
+)
+
+var domain3 = geom3.NewBox3(geom3.V3(0, 0, 0), geom3.V3(10000, 10000, 10000))
+
+func randPoints3(rng *rand.Rand, n int) []geom3.Vec3 {
+	pts := make([]geom3.Vec3, n)
+	for i := range pts {
+		pts[i] = geom3.V3(rng.Float64()*10000, rng.Float64()*10000, rng.Float64()*10000)
+	}
+	return pts
+}
+
+func cellsEquivalent(a, b *geom3.Polyhedron) bool {
+	va, vb := a.Volume(), b.Volume()
+	scale := math.Max(va, vb)
+	if scale < 1 {
+		scale = 1
+	}
+	if math.Abs(va-vb) > 1e-5*scale {
+		return false
+	}
+	inter := geom3.IntersectionVolume(a, b)
+	return math.Abs(inter-va) <= 1e-5*scale
+}
+
+func TestKDTreeBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	pts := randPoints3(rng, 500)
+	tree := BuildKDTree(MakeSites3(pts))
+	if tree.Size() != 500 {
+		t.Fatalf("size = %d", tree.Size())
+	}
+	seen := map[int64]bool{}
+	eachSite(tree, func(s Site3) { seen[s.ID] = true })
+	if len(seen) != 500 {
+		t.Fatalf("traversal saw %d sites", len(seen))
+	}
+	empty := BuildKDTree(nil)
+	if empty.Size() != 0 {
+		t.Fatal("empty tree size")
+	}
+}
+
+func TestBFVor3MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	pts := randPoints3(rng, 120)
+	sites := MakeSites3(pts)
+	tree := BuildKDTree(sites)
+	for trial := 0; trial < 15; trial++ {
+		i := rng.Intn(len(pts))
+		got := BFVor3(tree, sites[i], domain3)
+		want := BruteCell3(sites, i, domain3)
+		if !cellsEquivalent(got, want) {
+			t.Fatalf("site %d: BFVor3 volume %v, brute %v", i, got.Volume(), want.Volume())
+		}
+		if !got.Contains(pts[i]) {
+			t.Fatalf("site %d: cell does not contain site", i)
+		}
+	}
+}
+
+func TestDiagram3TilesDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	pts := randPoints3(rng, 40)
+	sites := MakeSites3(pts)
+	tree := BuildKDTree(sites)
+	var total float64
+	for i := range sites {
+		total += BFVor3(tree, sites[i], domain3).Volume()
+	}
+	if math.Abs(total-domain3.Volume()) > 1e-3*domain3.Volume() {
+		t.Fatalf("cells sum to %v, want %v", total, domain3.Volume())
+	}
+}
+
+func TestCIJ3MatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	p := randPoints3(rng, 30)
+	q := randPoints3(rng, 25)
+	want := BruteCIJ3(p, q, domain3)
+	got := CIJ3(BuildKDTree(MakeSites3(p)), BuildKDTree(MakeSites3(q)), domain3)
+	if !samePairs3(got, want) {
+		t.Fatalf("CIJ3: %d pairs, want %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("setup: empty 3D join")
+	}
+}
+
+func TestCIJ3EveryPointParticipates(t *testing.T) {
+	rng := rand.New(rand.NewSource(604))
+	p := randPoints3(rng, 25)
+	q := randPoints3(rng, 20)
+	pairs := CIJ3(BuildKDTree(MakeSites3(p)), BuildKDTree(MakeSites3(q)), domain3)
+	seenP, seenQ := map[int64]bool{}, map[int64]bool{}
+	for _, pr := range pairs {
+		seenP[pr.P] = true
+		seenQ[pr.Q] = true
+	}
+	if len(seenP) != len(p) || len(seenQ) != len(q) {
+		t.Fatalf("participation: %d/%d P, %d/%d Q", len(seenP), len(p), len(seenQ), len(q))
+	}
+}
+
+func TestCIJ3Symmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(605))
+	p := randPoints3(rng, 20)
+	q := randPoints3(rng, 20)
+	tp, tq := BuildKDTree(MakeSites3(p)), BuildKDTree(MakeSites3(q))
+	ab := CIJ3(tp, tq, domain3)
+	ba := CIJ3(tq, tp, domain3)
+	flipped := make([]Pair3, len(ba))
+	for i, pr := range ba {
+		flipped[i] = Pair3{P: pr.Q, Q: pr.P}
+	}
+	if !samePairs3(ab, flipped) {
+		t.Fatalf("CIJ3 not symmetric: %d vs %d", len(ab), len(flipped))
+	}
+}
+
+func TestCIJ3TwoSites(t *testing.T) {
+	p := []geom3.Vec3{geom3.V3(2500, 5000, 5000), geom3.V3(7500, 5000, 5000)}
+	q := []geom3.Vec3{geom3.V3(5000, 2500, 5000), geom3.V3(5000, 7500, 5000)}
+	got := CIJ3(BuildKDTree(MakeSites3(p)), BuildKDTree(MakeSites3(q)), domain3)
+	// Each P half-space cell overlaps both Q half-space cells.
+	if len(got) != 4 {
+		t.Fatalf("2×2 half-domains: %d pairs, want 4", len(got))
+	}
+}
+
+func samePairs3(a, b []Pair3) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(p Pair3) int64 { return p.P*1_000_000 + p.Q }
+	ka := make([]int64, len(a))
+	kb := make([]int64, len(b))
+	for i := range a {
+		ka[i], kb[i] = key(a[i]), key(b[i])
+	}
+	sort.Slice(ka, func(i, j int) bool { return ka[i] < ka[j] })
+	sort.Slice(kb, func(i, j int) bool { return kb[i] < kb[j] })
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}

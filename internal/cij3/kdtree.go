@@ -1,0 +1,149 @@
+// Package cij3 implements the paper's 3D future-work extension: exact
+// Voronoi cell computation for 3D pointsets with the single-traversal
+// best-first algorithm (Lemmas 1 and 2 carry over verbatim, with the
+// convex polygon replaced by a convex polyhedron and the MBR side L
+// replaced by a box face), and the common influence join built on it.
+//
+// The spatial index here is an in-memory kd-tree rather than a paged
+// R-tree: the 3D extension is an algorithmic demonstration (matching the
+// scope the paper sketches in its conclusions), not a re-run of the I/O
+// study, so the substrate favors simplicity. The pruning interfaces —
+// mindist to a bounding box, Φ(face, p) membership — are exactly those
+// the disk-based 2D implementation uses.
+package cij3
+
+import (
+	"sort"
+
+	"cij/internal/geom3"
+)
+
+// Site3 is an indexed 3D point.
+type Site3 struct {
+	ID int64
+	Pt geom3.Vec3
+}
+
+// KDTree is a static, balanced kd-tree over 3D sites with bounding boxes
+// on every node, supporting the best-first traversals of the Voronoi and
+// CIJ algorithms.
+type KDTree struct {
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	box         geom3.Box3
+	site        Site3 // leaf payload (leaf ⟺ left == -1)
+	left, right int
+	count       int // sites in subtree
+}
+
+// BuildKDTree constructs a balanced tree (median split on the widest
+// axis). The input slice is not retained.
+func BuildKDTree(sites []Site3) *KDTree {
+	t := &KDTree{root: -1}
+	if len(sites) == 0 {
+		return t
+	}
+	buf := append([]Site3(nil), sites...)
+	t.root = t.build(buf)
+	return t
+}
+
+func (t *KDTree) build(sites []Site3) int {
+	box := geom3.EmptyBox3()
+	for _, s := range sites {
+		box = box.UnionPoint(s.Pt)
+	}
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, kdNode{box: box, left: -1, right: -1, count: len(sites)})
+	if len(sites) == 1 {
+		t.nodes[idx].site = sites[0]
+		return idx
+	}
+	// Split on the widest axis at the median.
+	dx := box.Max.X - box.Min.X
+	dy := box.Max.Y - box.Min.Y
+	dz := box.Max.Z - box.Min.Z
+	axis := 0
+	if dy > dx && dy >= dz {
+		axis = 1
+	} else if dz > dx && dz > dy {
+		axis = 2
+	}
+	sort.Slice(sites, func(i, j int) bool { return coord(sites[i].Pt, axis) < coord(sites[j].Pt, axis) })
+	mid := len(sites) / 2
+	left := t.build(sites[:mid])
+	right := t.build(sites[mid:])
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+func coord(v geom3.Vec3, axis int) float64 {
+	switch axis {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// Size returns the number of indexed sites.
+func (t *KDTree) Size() int {
+	if t.root < 0 {
+		return 0
+	}
+	return t.nodes[t.root].count
+}
+
+// kdHeap is a min-heap of tree nodes keyed by squared mindist.
+type kdHeap struct {
+	keys  []float64
+	items []int
+}
+
+func (h *kdHeap) push(key float64, item int) {
+	h.keys = append(h.keys, key)
+	h.items = append(h.items, item)
+	i := len(h.keys) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			break
+		}
+		h.keys[parent], h.keys[i] = h.keys[i], h.keys[parent]
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *kdHeap) pop() (float64, int) {
+	key, item := h.keys[0], h.items[0]
+	last := len(h.keys) - 1
+	h.keys[0], h.items[0] = h.keys[last], h.items[last]
+	h.keys, h.items = h.keys[:last], h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.keys) && h.keys[l] < h.keys[small] {
+			small = l
+		}
+		if r < len(h.keys) && h.keys[r] < h.keys[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.keys[i], h.keys[small] = h.keys[small], h.keys[i]
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return key, item
+}
+
+func (h *kdHeap) empty() bool { return len(h.keys) == 0 }

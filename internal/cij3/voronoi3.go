@@ -1,0 +1,77 @@
+package cij3
+
+import "cij/internal/geom3"
+
+// BFVor3 computes the exact 3D Voronoi cell V(pi, P) with a single
+// best-first traversal of the kd-tree — Algorithm 1 lifted to 3D. The
+// pruning rule is Lemma 2 with box mindist: a subtree can refine the
+// current cell only if some cell vertex γ satisfies
+// mindist(box, γ) < dist(γ, pi).
+func BFVor3(t *KDTree, pi Site3, domain geom3.Box3) *geom3.Polyhedron {
+	cell := geom3.BoxPolyhedron(domain)
+	if t.root < 0 {
+		return cell
+	}
+	var h kdHeap
+	h.push(t.nodes[t.root].box.MinDist2(pi.Pt), t.root)
+	for !h.empty() {
+		_, idx := h.pop()
+		n := &t.nodes[idx]
+		if n.left < 0 { // leaf: a single site
+			if n.site.ID == pi.ID || n.site.Pt.Eq(pi.Pt) {
+				continue
+			}
+			if canRefine3(cell.Vertices(), pi.Pt, func(g geom3.Vec3) float64 {
+				return n.site.Pt.Dist2(g)
+			}) {
+				cell.Clip(geom3.Bisector3(pi.Pt, n.site.Pt))
+			}
+			continue
+		}
+		if !canRefine3(cell.Vertices(), pi.Pt, func(g geom3.Vec3) float64 {
+			return n.box.MinDist2(g)
+		}) {
+			continue
+		}
+		h.push(t.nodes[n.left].box.MinDist2(pi.Pt), n.left)
+		h.push(t.nodes[n.right].box.MinDist2(pi.Pt), n.right)
+	}
+	return cell
+}
+
+// canRefine3 is the 3D Lemma 1/2 test: refinement is possible iff some
+// vertex is closer to the contender than to the site.
+func canRefine3(vertices []geom3.Vec3, pi geom3.Vec3, dist2To func(geom3.Vec3) float64) bool {
+	for _, g := range vertices {
+		if dist2To(g) < pi.Dist2(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// BruteCell3 computes the 3D cell by clipping the domain box with every
+// bisector — the Eq. 2 definition, used as the test oracle.
+func BruteCell3(sites []Site3, i int, domain geom3.Box3) *geom3.Polyhedron {
+	cell := geom3.BoxPolyhedron(domain)
+	pi := sites[i].Pt
+	for j, s := range sites {
+		if j == i || s.Pt.Eq(pi) {
+			continue
+		}
+		cell.Clip(geom3.Bisector3(pi, s.Pt))
+		if cell.IsEmpty() {
+			break
+		}
+	}
+	return cell
+}
+
+// MakeSites3 wraps points into sites with slice-index IDs.
+func MakeSites3(pts []geom3.Vec3) []Site3 {
+	sites := make([]Site3, len(pts))
+	for i, p := range pts {
+		sites[i] = Site3{ID: int64(i), Pt: p}
+	}
+	return sites
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sort"
+
+	"cij/internal/geom"
+	"cij/internal/voronoi"
+)
+
+// BruteCIJ computes the common influence join by definition: both Voronoi
+// diagrams via O(n²) halfplane clipping, then all |P|×|Q| cell pairs
+// tested with the join predicate. It is the oracle the test suite checks
+// every tree-based algorithm against; do not use it beyond a few thousand
+// points.
+func BruteCIJ(p, q []geom.Point, domain geom.Rect) []Pair {
+	cellsP := voronoi.BruteDiagram(voronoi.MakeSites(p), domain)
+	cellsQ := voronoi.BruteDiagram(voronoi.MakeSites(q), domain)
+	var pairs []Pair
+	for _, cp := range cellsP {
+		bp := cp.Poly.Bounds()
+		for _, cq := range cellsQ {
+			if !bp.Intersects(cq.Poly.Bounds()) {
+				continue
+			}
+			if CellsJoin(cp.Poly, cq.Poly) {
+				pairs = append(pairs, Pair{P: cp.Site.ID, Q: cq.Site.ID})
+			}
+		}
+	}
+	return pairs
+}
+
+// SortPairs orders pairs lexicographically, for set comparison.
+func SortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].P != pairs[j].P {
+			return pairs[i].P < pairs[j].P
+		}
+		return pairs[i].Q < pairs[j].Q
+	})
+}
+
+// SamePairs reports whether two pair multisets are equal (order
+// insensitive).
+func SamePairs(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append([]Pair(nil), a...)
+	bc := append([]Pair(nil), b...)
+	SortPairs(ac)
+	SortPairs(bc)
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffPairs returns pairs present in a but not in b (set difference), for
+// diagnostic output in tests.
+func DiffPairs(a, b []Pair) []Pair {
+	set := make(map[Pair]bool, len(b))
+	for _, p := range b {
+		set[p] = true
+	}
+	var out []Pair
+	for _, p := range a {
+		if !set[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cij/internal/geom"
+)
+
+// Second-round tests: determinism, seed sweeps, skewed and degenerate
+// inputs, options interplay.
+
+func TestAlgorithmsAgreeAcrossSeeds(t *testing.T) {
+	// Table-driven seed sweep: the three algorithms must agree on every
+	// instance (brute force only on the smaller ones, to keep runtime
+	// sane).
+	for _, seed := range []int64{1, 7, 42, 1234, 99999} {
+		rng := rand.New(rand.NewSource(seed))
+		p := randPoints(rng, 400)
+		q := randPoints(rng, 300)
+		rp, rq, _ := buildPair(t, p, q, 1<<20)
+		fm := FMCIJ(rp, rq, testDomain, DefaultOptions())
+		pm := PMCIJ(rp, rq, testDomain, DefaultOptions())
+		nm := NMCIJ(rp, rq, testDomain, DefaultOptions())
+		if !SamePairs(fm.Pairs, pm.Pairs) || !SamePairs(pm.Pairs, nm.Pairs) {
+			t.Fatalf("seed %d: algorithms disagree (FM %d, PM %d, NM %d pairs)",
+				seed, len(fm.Pairs), len(pm.Pairs), len(nm.Pairs))
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	p := randPoints(rng, 300)
+	q := randPoints(rng, 300)
+	rp, rq, buf := buildPair(t, p, q, 128)
+	a := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	buf.DropAll()
+	buf.ResetStats()
+	b := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	if !SamePairs(a.Pairs, b.Pairs) {
+		t.Fatal("NM-CIJ is not deterministic")
+	}
+	if a.Stats.Candidates != b.Stats.Candidates || a.Stats.PCellsComputed != b.Stats.PCellsComputed {
+		t.Fatal("NM-CIJ statistics are not deterministic")
+	}
+}
+
+func TestHighlySkewedInputs(t *testing.T) {
+	// One tight cluster joined with a uniform set: the cluster's cells
+	// are tiny, the far cells huge — exercises very asymmetric windows.
+	rng := rand.New(rand.NewSource(501))
+	var p []geom.Point
+	for i := 0; i < 150; i++ {
+		p = append(p, geom.Pt(5000+rng.NormFloat64()*50, 5000+rng.NormFloat64()*50))
+	}
+	q := randPoints(rng, 150)
+	want := BruteCIJ(p, q, testDomain)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	for name, got := range map[string][]Pair{
+		"FM": FMCIJ(rp, rq, testDomain, DefaultOptions()).Pairs,
+		"PM": PMCIJ(rp, rq, testDomain, DefaultOptions()).Pairs,
+		"NM": NMCIJ(rp, rq, testDomain, DefaultOptions()).Pairs,
+	} {
+		if !SamePairs(got, want) {
+			t.Fatalf("%s on skewed data: %d pairs, want %d", name, len(got), len(want))
+		}
+	}
+}
+
+func TestGridOnGrid(t *testing.T) {
+	// Degenerate: both inputs are regular grids offset by half a step —
+	// maximal cocircularity in both diagrams.
+	var p, q []geom.Point
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			p = append(p, geom.Pt(float64(x)*1200+500, float64(y)*1200+500))
+			q = append(q, geom.Pt(float64(x)*1200+1100, float64(y)*1200+1100))
+		}
+	}
+	want := BruteCIJ(p, q, testDomain)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	got := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	if !SamePairs(got.Pairs, want) {
+		t.Fatalf("grid-on-grid: %d pairs, want %d", len(got.Pairs), len(want))
+	}
+}
+
+func TestIdenticalDatasets(t *testing.T) {
+	// P == Q: each point joins itself (identical cells) plus its Voronoi
+	// neighbors.
+	rng := rand.New(rand.NewSource(502))
+	p := randPoints(rng, 200)
+	rp, rq, _ := buildPair(t, p, p, 1<<20)
+	res := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	selfPairs := 0
+	for _, pr := range res.Pairs {
+		if pr.P == pr.Q {
+			selfPairs++
+		}
+	}
+	if selfPairs != len(p) {
+		t.Errorf("expected every point to join itself: %d of %d", selfPairs, len(p))
+	}
+	want := BruteCIJ(p, p, testDomain)
+	if !SamePairs(res.Pairs, want) {
+		t.Fatalf("identical datasets: %d pairs, want %d", len(res.Pairs), len(want))
+	}
+}
+
+func TestDuplicatePointsAcrossSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	p := randPoints(rng, 80)
+	// Q contains duplicates of P points plus extras.
+	q := append(append([]geom.Point{}, p[:40]...), randPoints(rng, 40)...)
+	want := BruteCIJ(p, q, testDomain)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	got := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	if !SamePairs(got.Pairs, want) {
+		t.Fatalf("duplicates across sets: %d pairs, want %d", len(got.Pairs), len(want))
+	}
+}
+
+func TestPlainVisitOrderSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(504))
+	p := randPoints(rng, 400)
+	q := randPoints(rng, 400)
+	rp, rq, buf := buildPair(t, p, q, 64)
+	hil := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	buf.DropAll()
+	buf.ResetStats()
+	opts := DefaultOptions()
+	opts.PlainVisitOrder = true
+	plain := NMCIJ(rp, rq, testDomain, opts)
+	if !SamePairs(hil.Pairs, plain.Pairs) {
+		t.Fatal("visit order changed the result set")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	p := randPoints(rng, 300)
+	q := randPoints(rng, 300)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	res := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	s := res.Stats
+	if s.Candidates < s.TrueHits {
+		t.Errorf("candidates (%d) below true hits (%d)", s.Candidates, s.TrueHits)
+	}
+	if s.FalseHitRatio() < 0 {
+		t.Errorf("negative FHR")
+	}
+	if s.PCellsComputed < int64(len(p)) {
+		t.Errorf("computed %d P-cells, below |P|=%d", s.PCellsComputed, len(p))
+	}
+	if s.CPU() <= 0 {
+		t.Errorf("no CPU time recorded")
+	}
+	// Progress is monotone in both coordinates.
+	for i := 1; i < len(s.Progress); i++ {
+		if s.Progress[i].PageAccesses < s.Progress[i-1].PageAccesses ||
+			s.Progress[i].Pairs < s.Progress[i-1].Pairs {
+			t.Fatalf("progress not monotone at %d: %+v -> %+v", i, s.Progress[i-1], s.Progress[i])
+		}
+	}
+}
+
+func TestCellsJoinPredicate(t *testing.T) {
+	a := geom.NewRect(0, 0, 10, 10).Polygon()
+	b := geom.NewRect(5, 5, 15, 15).Polygon()
+	if !CellsJoin(a, b) {
+		t.Error("overlapping squares must join")
+	}
+	c := geom.NewRect(10, 0, 20, 10).Polygon() // shares only an edge
+	if CellsJoin(a, c) {
+		t.Error("edge-touching squares have zero-area intersection: no join")
+	}
+	d := geom.NewRect(30, 30, 40, 40).Polygon()
+	if CellsJoin(a, d) {
+		t.Error("disjoint squares must not join")
+	}
+	if CellsJoin(a, geom.Polygon{}) || CellsJoin(geom.Polygon{}, a) {
+		t.Error("empty cell joins nothing")
+	}
+}
+
+func TestPairHelpers(t *testing.T) {
+	a := []Pair{{2, 1}, {1, 2}, {1, 1}}
+	b := []Pair{{1, 1}, {1, 2}, {2, 1}}
+	if !SamePairs(a, b) {
+		t.Error("SamePairs should be order-insensitive")
+	}
+	if SamePairs(a, b[:2]) {
+		t.Error("different lengths are not the same")
+	}
+	diff := DiffPairs([]Pair{{1, 1}, {3, 3}}, b)
+	if len(diff) != 1 || diff[0] != (Pair{3, 3}) {
+		t.Errorf("DiffPairs = %v", diff)
+	}
+	SortPairs(a)
+	if a[0] != (Pair{1, 1}) || a[2] != (Pair{2, 1}) {
+		t.Errorf("SortPairs order: %v", a)
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+)
+
+var testDomain = geom.NewRect(0, 0, 10000, 10000)
+
+// buildPair creates two point trees sharing one disk and buffer, like the
+// experimental setting of the paper.
+func buildPair(t testing.TB, p, q []geom.Point, bufPages int) (*rtree.Tree, *rtree.Tree, *storage.Buffer) {
+	t.Helper()
+	buf := storage.NewBuffer(storage.NewDisk(storage.DefaultPageSize), bufPages)
+	rp := rtree.BulkLoadPoints(buf, p, testDomain, 1)
+	rq := rtree.BulkLoadPoints(buf, q, testDomain, 1)
+	buf.ResetStats()
+	return rp, rq, buf
+}
+
+func randPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	return pts
+}
+
+func clusteredPoints(rng *rand.Rand, n, clusters int) []geom.Point {
+	centers := randPoints(rng, clusters)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(clusters)]
+		pts[i] = geom.Pt(
+			clampDomain(c.X+rng.NormFloat64()*400),
+			clampDomain(c.Y+rng.NormFloat64()*400),
+		)
+	}
+	return pts
+}
+
+func clampDomain(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 10000 {
+		return 10000
+	}
+	return v
+}
+
+func TestAllAlgorithmsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for _, sz := range []struct{ np, nq int }{
+		{60, 60}, {150, 90}, {40, 200},
+	} {
+		p := randPoints(rng, sz.np)
+		q := randPoints(rng, sz.nq)
+		want := BruteCIJ(p, q, testDomain)
+
+		rp, rq, _ := buildPair(t, p, q, 1<<20)
+		for _, alg := range []struct {
+			name string
+			run  func() Result
+		}{
+			{"FM", func() Result { return FMCIJ(rp, rq, testDomain, DefaultOptions()) }},
+			{"PM", func() Result { return PMCIJ(rp, rq, testDomain, DefaultOptions()) }},
+			{"NM", func() Result { return NMCIJ(rp, rq, testDomain, DefaultOptions()) }},
+		} {
+			got := alg.run()
+			if !SamePairs(got.Pairs, want) {
+				missing := DiffPairs(want, got.Pairs)
+				extra := DiffPairs(got.Pairs, want)
+				t.Fatalf("%s-CIJ (%d×%d): %d pairs, want %d; missing=%v extra=%v",
+					alg.name, sz.np, sz.nq, len(got.Pairs), len(want), missing, extra)
+			}
+		}
+	}
+}
+
+func TestAlgorithmsMatchOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	p := clusteredPoints(rng, 180, 5)
+	q := clusteredPoints(rng, 140, 4)
+	want := BruteCIJ(p, q, testDomain)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	for name, res := range map[string]Result{
+		"FM": FMCIJ(rp, rq, testDomain, DefaultOptions()),
+		"PM": PMCIJ(rp, rq, testDomain, DefaultOptions()),
+		"NM": NMCIJ(rp, rq, testDomain, DefaultOptions()),
+	} {
+		if !SamePairs(res.Pairs, want) {
+			t.Fatalf("%s-CIJ on clustered data: %d pairs, want %d", name, len(res.Pairs), len(want))
+		}
+	}
+}
+
+func TestEveryPointParticipates(t *testing.T) {
+	// Footnote 3 of the paper: every point of P and of Q participates in
+	// at least one CIJ pair, because each p is contained in some cell of
+	// Vor(Q) and vice versa.
+	rng := rand.New(rand.NewSource(202))
+	p := randPoints(rng, 120)
+	q := randPoints(rng, 80)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	res := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	seenP := make(map[int64]bool)
+	seenQ := make(map[int64]bool)
+	for _, pr := range res.Pairs {
+		seenP[pr.P] = true
+		seenQ[pr.Q] = true
+	}
+	if len(seenP) != len(p) {
+		t.Errorf("only %d of %d P-points participate", len(seenP), len(p))
+	}
+	if len(seenQ) != len(q) {
+		t.Errorf("only %d of %d Q-points participate", len(seenQ), len(q))
+	}
+}
+
+func TestCIJSymmetry(t *testing.T) {
+	// CIJ(P,Q) must equal the transpose of CIJ(Q,P).
+	rng := rand.New(rand.NewSource(203))
+	p := randPoints(rng, 100)
+	q := randPoints(rng, 130)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	ab := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	ba := NMCIJ(rq, rp, testDomain, DefaultOptions())
+	transposed := make([]Pair, len(ba.Pairs))
+	for i, pr := range ba.Pairs {
+		transposed[i] = Pair{P: pr.Q, Q: pr.P}
+	}
+	if !SamePairs(ab.Pairs, transposed) {
+		t.Fatalf("CIJ(P,Q) [%d pairs] != CIJ(Q,P)ᵀ [%d pairs]", len(ab.Pairs), len(transposed))
+	}
+}
+
+func TestDistantPairExample(t *testing.T) {
+	// Figure 1b: a CIJ pair can be a distant pair of points. p0 sits in
+	// front of a cluster {p1, p2} so its cell stretches right across the
+	// domain; symmetrically q0's cell stretches left; the two cells meet
+	// in the middle although p0 and q0 are far apart.
+	p := []geom.Point{geom.Pt(2000, 5000), geom.Pt(1000, 4000), geom.Pt(1000, 6000)}
+	q := []geom.Point{geom.Pt(8000, 5000), geom.Pt(9000, 4000), geom.Pt(9000, 6000)}
+	want := BruteCIJ(p, q, testDomain)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	got := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	if !SamePairs(got.Pairs, want) {
+		t.Fatalf("corner case: got %v want %v", got.Pairs, want)
+	}
+	// The distant pair (p0, q0) must be present even though p0 and q0 are
+	// the two farthest points of the instance.
+	found := false
+	for _, pr := range got.Pairs {
+		if pr.P == 0 && pr.Q == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("distant pair (p0,q0) missing: CIJ is not distance-bounded")
+	}
+}
+
+func TestNMProgressiveOutput(t *testing.T) {
+	// Fig. 9b: NM-CIJ must produce pairs long before its total I/O is
+	// spent; FM-CIJ produces nothing until materialization is done.
+	rng := rand.New(rand.NewSource(204))
+	p := randPoints(rng, 800)
+	q := randPoints(rng, 800)
+	rp, rq, buf := buildPair(t, p, q, 64)
+
+	nm := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	if len(nm.Stats.Progress) < 4 {
+		t.Fatalf("NM progress curve too sparse: %d samples", len(nm.Stats.Progress))
+	}
+	mid := nm.Stats.Progress[len(nm.Stats.Progress)/2]
+	if mid.Pairs == 0 {
+		t.Error("NM-CIJ should have produced pairs by half of its batches")
+	}
+
+	buf.DropAll()
+	buf.ResetStats()
+	fm := FMCIJ(rp, rq, testDomain, DefaultOptions())
+	first := fm.Stats.Progress[0]
+	if first.Pairs != 0 {
+		t.Error("FM-CIJ should be blocking: no pairs before materialization completes")
+	}
+	if first.PageAccesses == 0 {
+		t.Error("FM-CIJ materialization should cost I/O before the first pair")
+	}
+}
+
+func TestNMFalseHitRatioLow(t *testing.T) {
+	// Fig. 10: the filter's false hit ratio stays below ~0.1 on uniform
+	// data. Allow slack for the small test size.
+	rng := rand.New(rand.NewSource(205))
+	p := randPoints(rng, 1500)
+	q := randPoints(rng, 1500)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	res := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	if res.Stats.TrueHits == 0 {
+		t.Fatal("no true hits recorded")
+	}
+	if fhr := res.Stats.FalseHitRatio(); fhr > 0.6 {
+		t.Errorf("false hit ratio %v unexpectedly high", fhr)
+	}
+}
+
+func TestReuseReducesCellComputations(t *testing.T) {
+	// Fig. 11: REUSE cuts redundant exact-cell computations vs NO-REUSE,
+	// and both are at least |P| (every point's cell is needed at least
+	// once somewhere).
+	rng := rand.New(rand.NewSource(206))
+	p := randPoints(rng, 1200)
+	q := randPoints(rng, 1200)
+	rp, rq, buf := buildPair(t, p, q, 128)
+
+	withReuse := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	buf.DropAll()
+	buf.ResetStats()
+	opts := DefaultOptions()
+	opts.Reuse = false
+	withoutReuse := NMCIJ(rp, rq, testDomain, opts)
+
+	if !SamePairs(withReuse.Pairs, withoutReuse.Pairs) {
+		t.Fatal("reuse changed the result set")
+	}
+	if withReuse.Stats.PCellsComputed >= withoutReuse.Stats.PCellsComputed {
+		t.Errorf("reuse did not reduce cell computations: %d vs %d",
+			withReuse.Stats.PCellsComputed, withoutReuse.Stats.PCellsComputed)
+	}
+}
+
+func TestNMCheaperIOThanPMCheaperThanFM(t *testing.T) {
+	// The paper's central cost ordering (Fig. 7/8, Table III):
+	// NM-CIJ < PM-CIJ < FM-CIJ in page accesses, under a small LRU buffer.
+	rng := rand.New(rand.NewSource(207))
+	p := randPoints(rng, 2000)
+	q := randPoints(rng, 2000)
+
+	run := func(alg func(*rtree.Tree, *rtree.Tree, geom.Rect, Options) Result) int64 {
+		rp, rq, buf := buildPair(t, p, q, 8) // tiny buffer: 8 pages
+		_ = buf
+		res := alg(rp, rq, testDomain, Options{Reuse: true})
+		return res.Stats.PageAccesses()
+	}
+	fm := run(FMCIJ)
+	pm := run(PMCIJ)
+	nm := run(NMCIJ)
+	if !(nm < pm && pm < fm) {
+		t.Errorf("expected NM < PM < FM in I/O, got NM=%d PM=%d FM=%d", nm, pm, fm)
+	}
+}
+
+func TestFMStatsPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(208))
+	p := randPoints(rng, 500)
+	q := randPoints(rng, 500)
+	rp, rq, _ := buildPair(t, p, q, 64)
+	res := FMCIJ(rp, rq, testDomain, DefaultOptions())
+	if res.Stats.Mat.PageWrites == 0 {
+		t.Error("FM-CIJ must write materialized trees")
+	}
+	if res.Stats.Join.PageAccesses() == 0 {
+		t.Error("FM-CIJ join phase must read")
+	}
+	// NM has no materialization I/O at all.
+	nm := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	if nm.Stats.Mat.PageAccesses() != 0 {
+		t.Error("NM-CIJ must not materialize")
+	}
+	if nm.Stats.Join.PageWrites != 0 {
+		t.Error("NM-CIJ must not write pages")
+	}
+}
+
+func TestOnPairStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(209))
+	p := randPoints(rng, 200)
+	q := randPoints(rng, 200)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	var streamed []Pair
+	opts := Options{Reuse: true, CollectPairs: true, OnPair: func(pr Pair) { streamed = append(streamed, pr) }}
+	res := NMCIJ(rp, rq, testDomain, opts)
+	if !SamePairs(streamed, res.Pairs) {
+		t.Fatal("OnPair stream diverges from collected pairs")
+	}
+	// CollectPairs=false keeps Pairs empty but still streams.
+	streamed = nil
+	opts.CollectPairs = false
+	res = NMCIJ(rp, rq, testDomain, opts)
+	if len(res.Pairs) != 0 {
+		t.Error("CollectPairs=false should not populate Pairs")
+	}
+	if len(streamed) == 0 {
+		t.Error("OnPair should still stream")
+	}
+}
+
+func TestSmallAndDegenerateInputs(t *testing.T) {
+	// 1×1 input: the two whole-domain cells intersect — exactly one pair.
+	p := []geom.Point{geom.Pt(2000, 2000)}
+	q := []geom.Point{geom.Pt(8000, 8000)}
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	for name, res := range map[string]Result{
+		"FM": FMCIJ(rp, rq, testDomain, DefaultOptions()),
+		"PM": PMCIJ(rp, rq, testDomain, DefaultOptions()),
+		"NM": NMCIJ(rp, rq, testDomain, DefaultOptions()),
+	} {
+		if len(res.Pairs) != 1 || res.Pairs[0] != (Pair{0, 0}) {
+			t.Errorf("%s on 1×1: %v", name, res.Pairs)
+		}
+	}
+}
+
+func TestCollinearDatasets(t *testing.T) {
+	// Degenerate geometry: both datasets collinear on the same line.
+	var p, q []geom.Point
+	for i := 0; i < 12; i++ {
+		p = append(p, geom.Pt(float64(i)*800+200, 5000))
+		q = append(q, geom.Pt(float64(i)*800+600, 5000))
+	}
+	want := BruteCIJ(p, q, testDomain)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	got := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	if !SamePairs(got.Pairs, want) {
+		t.Fatalf("collinear: got %d pairs, want %d", len(got.Pairs), len(want))
+	}
+	// Each slab cell overlaps its neighbors' slabs: interior points join 2
+	// cells of the other set.
+	if len(want) == 0 {
+		t.Fatal("expected nonempty join")
+	}
+}
+
+func TestFigure1aExample(t *testing.T) {
+	// Qualitative reproduction of Fig. 1a: 4 P-points and 4 Q-points,
+	// every point participates, and the join is not the cross product.
+	rng := rand.New(rand.NewSource(210))
+	p := randPoints(rng, 4)
+	q := randPoints(rng, 4)
+	want := BruteCIJ(p, q, testDomain)
+	rp, rq, _ := buildPair(t, p, q, 1<<20)
+	got := NMCIJ(rp, rq, testDomain, DefaultOptions())
+	if !SamePairs(got.Pairs, want) {
+		t.Fatalf("got %v want %v", got.Pairs, want)
+	}
+	if len(want) == 16 {
+		t.Skip("degenerate draw: full cross product")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/voronoi"
+)
+
+// MultiTuple is one result of a multiway common influence join: one point
+// id per input set, plus the (non-degenerate) common influence region
+// shared by all their Voronoi cells.
+type MultiTuple struct {
+	IDs    []int64
+	Region geom.Polygon
+}
+
+// MultiwayCIJ generalizes the common influence join to m ≥ 2 pointsets —
+// the extension sketched in the paper's conclusions ("we plan to
+// generalize CIJ computation for multiple pointsets and develop multiway
+// CIJ algorithms"). It returns every tuple (p₁, …, pₘ), pᵢ ∈ Pᵢ, such that
+// the intersection of all their Voronoi cells V(pᵢ, Pᵢ) has positive
+// area.
+//
+// Evaluation cascades the NM-CIJ machinery: the diagram of the first set
+// is enumerated batch-by-batch (non-blocking, like Algorithm 6); each
+// partial tuple carries its running intersection region, and each further
+// set is probed with a conditional filter on that region, with exact
+// cells computed on demand and cached per set. The tuple count is bounded
+// by the number of faces in the overlay of the m diagrams (expected
+// O(Σ|Pᵢ|) for well-distributed data), so intermediate results stay
+// output-sized.
+func MultiwayCIJ(trees []*rtree.Tree, domain geom.Rect) ([]MultiTuple, error) {
+	if len(trees) < 2 {
+		return nil, fmt.Errorf("core: multiway CIJ needs at least 2 pointsets, got %d", len(trees))
+	}
+	for i, t := range trees {
+		if t.Kind() != rtree.KindPoints {
+			return nil, fmt.Errorf("core: input %d is not a point tree", i)
+		}
+		if t.Size() == 0 {
+			return nil, fmt.Errorf("core: input %d is empty", i)
+		}
+	}
+
+	// Per-set cache of exact Voronoi cells, filled on demand.
+	caches := make([]map[int64]geom.Polygon, len(trees))
+	for i := range caches {
+		caches[i] = make(map[int64]geom.Polygon)
+	}
+	cellOf := func(set int, s voronoi.Site) geom.Polygon {
+		if poly, ok := caches[set][s.ID]; ok {
+			return poly
+		}
+		poly := voronoi.BFVor(trees[set], s, domain)
+		caches[set][s.ID] = poly
+		return poly
+	}
+
+	var out []MultiTuple
+	// Enumerate the first diagram in spatial batches.
+	trees[0].VisitLeavesHilbert(domain, func(leaf *rtree.Node) {
+		group := voronoi.SitesOfLeaf(leaf)
+		for _, c := range voronoi.BatchVoronoi(trees[0], group, domain) {
+			caches[0][c.Site.ID] = c.Poly
+			tuples := extend(trees, caches, cellOf, domain,
+				MultiTuple{IDs: []int64{c.Site.ID}, Region: c.Poly}, 1)
+			out = append(out, tuples...)
+		}
+	})
+	return out, nil
+}
+
+// extend grows a partial tuple by joining its running region against set
+// `next`, recursing until all sets are consumed.
+func extend(trees []*rtree.Tree, caches []map[int64]geom.Polygon,
+	cellOf func(int, voronoi.Site) geom.Polygon, domain geom.Rect,
+	partial MultiTuple, next int) []MultiTuple {
+
+	if partial.Region.IsEmpty() {
+		return nil
+	}
+	if next == len(trees) {
+		return []MultiTuple{partial}
+	}
+	record := cellRecord{poly: partial.Region, bounds: partial.Region.Bounds()}
+	candidates := batchConditionalFilter(trees[next], []cellRecord{record}, domain)
+
+	var out []MultiTuple
+	for _, cand := range candidates {
+		cell := cellOf(next, cand)
+		if !cell.Bounds().Intersects(record.bounds) {
+			continue
+		}
+		region := partial.Region.Intersection(cell)
+		if region.Area() <= joinAreaEps {
+			continue
+		}
+		ids := make([]int64, len(partial.IDs)+1)
+		copy(ids, partial.IDs)
+		ids[len(partial.IDs)] = cand.ID
+		out = append(out, extend(trees, caches, cellOf, domain,
+			MultiTuple{IDs: ids, Region: region}, next+1)...)
+	}
+	return out
+}
+
+// BruteMultiwayCIJ evaluates the multiway join by definition (all
+// diagrams brute-forced, all tuple combinations intersected) — the test
+// oracle. Exponential in m; keep inputs tiny.
+func BruteMultiwayCIJ(sets [][]geom.Point, domain geom.Rect) []MultiTuple {
+	diagrams := make([][]voronoi.Cell, len(sets))
+	for i, pts := range sets {
+		diagrams[i] = voronoi.BruteDiagram(voronoi.MakeSites(pts), domain)
+	}
+	var out []MultiTuple
+	var rec func(ids []int64, region geom.Polygon, next int)
+	rec = func(ids []int64, region geom.Polygon, next int) {
+		if region.IsEmpty() {
+			return
+		}
+		if next == len(sets) {
+			out = append(out, MultiTuple{IDs: append([]int64(nil), ids...), Region: region})
+			return
+		}
+		for _, c := range diagrams[next] {
+			r := region.Intersection(c.Poly)
+			if r.Area() <= joinAreaEps {
+				continue
+			}
+			rec(append(ids, c.Site.ID), r, next+1)
+		}
+	}
+	rec(nil, domain.Polygon(), 0)
+	return out
+}

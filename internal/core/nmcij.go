@@ -1,0 +1,293 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+	"cij/internal/voronoi"
+)
+
+// NMCIJ evaluates the common influence join with the No Materialization
+// algorithm (Algorithm 6), the paper's best method. The tree of Q is
+// traversed leaf by leaf in Hilbert order; for each leaf:
+//
+//  1. the Voronoi cells of its points are computed in batch (Algorithm 2);
+//  2. a conditional filter (Algorithm 5) traverses the ORIGINAL tree of P
+//     and collects the candidate set CP of points whose cells may
+//     intersect any cell of the batch, pruning subtrees with the Φ(L,p)
+//     geometric test (Lemma 3);
+//  3. the exact cells of the candidates are computed on demand — reusing
+//     cells cached from the previous batch (Section IV-B) — and tested
+//     against the batch's cells.
+//
+// Nothing is materialized, no Voronoi R-tree is built, and pairs stream
+// out from the very first batch: the algorithm is non-blocking (Fig. 9b)
+// and its I/O converges to the lower bound of one traversal per tree
+// (Fig. 8).
+func NMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
+	buf := rp.Buffer()
+	col := newCollector(opts, buf)
+	cpuStart := time.Now()
+
+	var stats Stats
+	// Reuse buffer B: exact P-cells computed for the previous batch.
+	reuse := make(map[int64]geom.Polygon)
+
+	visit := func(fn func(*rtree.Node)) { rq.VisitLeavesHilbert(domain, fn) }
+	if opts.PlainVisitOrder {
+		visit = rq.VisitLeaves
+	}
+	visit(func(leaf *rtree.Node) {
+		group := voronoi.SitesOfLeaf(leaf)
+		qCells := toRecords(voronoi.BatchVoronoi(rq, group, domain))
+
+		// Filter phase: candidates from P whose cells may reach the batch.
+		candidates := batchConditionalFilter(rp, qCells, domain)
+		stats.Candidates += int64(len(candidates))
+
+		// Refinement phase: exact cells for all candidates, reusing the
+		// previous batch's computations when enabled.
+		var fresh []voronoi.Site
+		pCells := make([]cellRecord, 0, len(candidates))
+		for _, cand := range candidates {
+			if opts.Reuse {
+				if poly, ok := reuse[cand.ID]; ok {
+					pCells = append(pCells, cellRecord{site: cand, poly: poly, bounds: poly.Bounds()})
+					continue
+				}
+			}
+			fresh = append(fresh, cand)
+		}
+		if len(fresh) > 0 {
+			stats.PCellsComputed += int64(len(fresh))
+			for _, c := range voronoi.BatchVoronoi(rp, fresh, domain) {
+				pCells = append(pCells, cellRecord{site: c.Site, poly: c.Poly, bounds: c.Poly.Bounds()})
+			}
+		}
+		// B is replaced by the cells of the current candidate set.
+		next := make(map[int64]geom.Polygon, len(pCells))
+		for i := range pCells {
+			next[pCells[i].site.ID] = pCells[i].poly
+		}
+		reuse = next
+
+		// Join the batch.
+		for i := range pCells {
+			pc := &pCells[i]
+			hit := false
+			for j := range qCells {
+				qc := &qCells[j]
+				if !pc.bounds.Intersects(qc.bounds) {
+					continue
+				}
+				if CellsJoin(pc.poly, qc.poly) {
+					col.emit(Pair{P: pc.site.ID, Q: qc.site.ID})
+					hit = true
+				}
+			}
+			if hit {
+				stats.TrueHits++
+			}
+		}
+		col.sample()
+	})
+
+	stats.Join = buf.Stats().Sub(col.base)
+	stats.JoinCPU = time.Since(cpuStart)
+	stats.Progress = col.prog
+	return Result{Pairs: col.pairs, Stats: stats}
+}
+
+// batchConditionalFilter implements Algorithm 5 generalized to a group of
+// convex polygons (the "Batch conditional filter" of Section IV-A): it
+// traverses the R-tree of P best-first from the group's centroid and
+// returns the candidate points whose Voronoi cells may intersect any
+// polygon of the group.
+func batchConditionalFilter(rp *rtree.Tree, group []cellRecord, domain geom.Rect) []voronoi.Site {
+	if len(group) == 0 || rp.Root() == storage.InvalidPage {
+		return nil
+	}
+	// Anchor: centroid of the group's cell centroids; window: the MBR of
+	// the whole group (used for cheap early tests).
+	cents := make([]geom.Point, len(group))
+	window := geom.EmptyRect()
+	for i := range group {
+		cents[i] = group[i].poly.Centroid()
+		window = window.Union(group[i].bounds)
+	}
+	anchor := geom.Centroid(cents)
+	windowPoly := window.Polygon()
+
+	var cp []voronoi.Site
+	var scratch filterScratch
+
+	h := &filterHeap{}
+	pushFilterEntries(h, rp.ReadNode(rp.Root()), anchor)
+	for h.Len() > 0 {
+		top := heap.Pop(h).(filterItem)
+		e := top.entry
+		if top.leaf {
+			p := voronoi.Site{ID: e.ID, Pt: e.Pt}
+			if scratch.approxCellIntersectsGroup(p, cp, group, window, domain) {
+				cp = append(cp, p)
+			}
+			continue
+		}
+		if canPruneSubtree(e.MBR, cp, group, windowPoly) {
+			continue
+		}
+		pushFilterEntries(h, rp.ReadNode(e.Child), anchor)
+	}
+	return cp
+}
+
+// filterScratch holds reusable buffers for the per-point approximate-cell
+// test, the innermost loop of the conditional filter.
+type filterScratch struct {
+	clip geom.Clipper
+	ord  []candDist
+}
+
+type candDist struct {
+	d   float64
+	idx int
+}
+
+// approxCellIntersectsGroup computes the approximate Voronoi cell
+// V(p, CP) — the cell of p with respect to the current candidate set only,
+// a superset of the true V(p, P) — and reports whether it intersects any
+// polygon of the group. Candidates are applied nearest-first so the cell
+// shrinks quickly, with a periodic early exit as soon as it leaves the
+// group window.
+func (fs *filterScratch) approxCellIntersectsGroup(p voronoi.Site, cp []voronoi.Site, group []cellRecord, window geom.Rect, domain geom.Rect) bool {
+	cell := domain.Polygon()
+	if len(cp) > 0 {
+		fs.ord = fs.ord[:0]
+		for i := range cp {
+			fs.ord = append(fs.ord, candDist{d: cp[i].Pt.Dist2(p.Pt), idx: i})
+		}
+		// Partial selection instead of a full sort: the nearest candidates
+		// do all the shrinking; once the cell is tight the remaining clips
+		// are no-ops, so their order is irrelevant.
+		const nearestK = 12
+		limit := nearestK
+		if limit > len(fs.ord) {
+			limit = len(fs.ord)
+		}
+		for sel := 0; sel < limit; sel++ {
+			m := sel
+			for j := sel + 1; j < len(fs.ord); j++ {
+				if fs.ord[j].d < fs.ord[m].d {
+					m = j
+				}
+			}
+			fs.ord[sel], fs.ord[m] = fs.ord[m], fs.ord[sel]
+		}
+		for k := range fs.ord {
+			c := cp[fs.ord[k].idx]
+			if c.Pt.Eq(p.Pt) {
+				continue
+			}
+			cell = fs.clip.Clip(cell, geom.Bisector(p.Pt, c.Pt))
+			if cell.IsEmpty() {
+				return false
+			}
+			if (k+1)%4 == 0 && !cell.Bounds().Intersects(window) {
+				return false
+			}
+		}
+	}
+	if !cell.Bounds().Intersects(window) {
+		return false
+	}
+	for i := range group {
+		if cell.Intersects(group[i].poly) {
+			return true
+		}
+	}
+	return false
+}
+
+// canPruneSubtree applies the geometric pruning of Section IV-A: a
+// non-leaf entry with MBR r can be pruned iff no polygon of the group
+// intersects r and there is a candidate p such that every group polygon T
+// falls inside Φ(L, p) for every side L of r — then the Voronoi cell of
+// any point inside r cannot reach any T (Lemma 3).
+func canPruneSubtree(r geom.Rect, cp []voronoi.Site, group []cellRecord, windowPoly geom.Polygon) bool {
+	if len(cp) == 0 {
+		return false
+	}
+	// An entry intersecting some group polygon may contain points inside
+	// it — those join for sure; never prune.
+	for i := range group {
+		if group[i].bounds.Intersects(r) && group[i].poly.IntersectsRect(r) {
+			return false
+		}
+	}
+	sides := r.Sides()
+	// Fast path: test the group's bounding window (4 vertices) instead of
+	// every polygon. W ⊇ every T, so W ⊆ Φ(L,p) implies T ⊆ Φ(L,p).
+	for _, p := range cp {
+		ok := true
+		for _, l := range sides {
+			if !l.PolygonInPhi(p.Pt, windowPoly) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	// Exact path: per-polygon test, early-failing on the first vertex
+	// outside Φ.
+	for _, p := range cp {
+		ok := true
+		for _, l := range sides {
+			for i := range group {
+				if !l.PolygonInPhi(p.Pt, group[i].poly) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// filterItem / filterHeap: best-first queue for the conditional filter.
+type filterItem struct {
+	key   float64
+	entry rtree.Entry
+	leaf  bool
+}
+
+type filterHeap []filterItem
+
+func (h filterHeap) Len() int            { return len(h) }
+func (h filterHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h filterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *filterHeap) Push(x interface{}) { *h = append(*h, x.(filterItem)) }
+func (h *filterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func pushFilterEntries(h *filterHeap, n *rtree.Node, anchor geom.Point) {
+	for i := range n.Entries {
+		e := n.Entries[i]
+		heap.Push(h, filterItem{key: e.MBR.MinDist2(anchor), entry: e, leaf: n.Leaf})
+	}
+}

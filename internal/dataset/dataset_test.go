@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cij/internal/geom"
+)
+
+func TestUniformDeterministicAndInDomain(t *testing.T) {
+	a := Uniform(1000, 7)
+	b := Uniform(1000, 7)
+	c := Uniform(1000, 8)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		if !Domain.Contains(a[i]) {
+			t.Fatalf("point %v outside domain", a[i])
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestClusteredSkew(t *testing.T) {
+	pts := Clustered(20000, 10, 42)
+	if len(pts) != 20000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !Domain.Contains(p) {
+			t.Fatalf("point %v outside domain", p)
+		}
+	}
+	// Skew check: a 10x10 grid histogram must be far from uniform —
+	// the max cell count should exceed several times the mean.
+	var hist [10][10]int
+	for _, p := range pts {
+		i := int(p.X / 1000.01)
+		j := int(p.Y / 1000.01)
+		hist[i][j]++
+	}
+	maxCount := 0
+	for i := range hist {
+		for j := range hist[i] {
+			if hist[i][j] > maxCount {
+				maxCount = hist[i][j]
+			}
+		}
+	}
+	mean := 20000.0 / 100
+	if float64(maxCount) < 3*mean {
+		t.Errorf("clustered data not skewed enough: max cell %d, mean %v", maxCount, mean)
+	}
+}
+
+func TestClusteredDegenerateArgs(t *testing.T) {
+	pts := Clustered(10, 0, 1) // clusters < 1 clamps to 1
+	if len(pts) != 10 {
+		t.Fatalf("len = %d", len(pts))
+	}
+}
+
+func TestRealLikeCardinalitiesMatchTable1(t *testing.T) {
+	want := map[string]int{"PP": 177983, "SC": 172188, "CE": 124336, "LO": 128476, "PA": 58312}
+	for name, n := range want {
+		pts, err := RealLike(name, 0.01) // 1% scale for test speed
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, wantScaled := len(pts), int(float64(n)*0.01); got != wantScaled {
+			t.Errorf("%s at 1%%: %d points, want %d", name, got, wantScaled)
+		}
+	}
+	if _, err := RealLike("XX", 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	// Full-scale sanity for the smallest dataset only (PA).
+	pa, err := RealLike("PA", 1)
+	if err != nil || len(pa) != 58312 {
+		t.Fatalf("PA full scale: %d points, err=%v", len(pa), err)
+	}
+}
+
+func TestRealLikeDeterministic(t *testing.T) {
+	a, _ := RealLike("CE", 0.005)
+	b, _ := RealLike("CE", 0.005)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RealLike is not deterministic")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := Uniform(500, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip lost points: %d vs %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if math.Abs(got[i].X-pts[i].X) > 1e-9 || math.Abs(got[i].Y-pts[i].Y) > 1e-9 {
+			t.Fatalf("point %d mismatch: %v vs %v", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestReadCSVCommentsAndErrors(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("# header\n\n1.5, 2.5\n3,4\n"))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2,3\n")); err == nil {
+		t.Error("3 fields should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Error("non-numeric should error")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	in := []geom.Point{geom.Pt(-100, 50), geom.Pt(300, 250), geom.Pt(100, 150)}
+	out := Normalize(in)
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Extremes map to domain extremes.
+	if math.Abs(out[0].X-0) > 1e-9 || math.Abs(out[1].X-10000) > 1e-9 {
+		t.Errorf("x normalization wrong: %v, %v", out[0].X, out[1].X)
+	}
+	if math.Abs(out[0].Y-0) > 1e-9 || math.Abs(out[1].Y-10000) > 1e-9 {
+		t.Errorf("y normalization wrong: %v, %v", out[0].Y, out[1].Y)
+	}
+	// Midpoint stays a midpoint.
+	if math.Abs(out[2].X-5000) > 1e-9 || math.Abs(out[2].Y-5000) > 1e-9 {
+		t.Errorf("midpoint maps to %v", out[2])
+	}
+	// Degenerate: all same coordinate (zero extent) must not divide by 0.
+	same := Normalize([]geom.Point{geom.Pt(5, 5), geom.Pt(5, 5)})
+	for _, p := range same {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Error("degenerate normalize produced NaN")
+		}
+	}
+	if got := Normalize(nil); len(got) != 0 {
+		t.Error("empty input should stay empty")
+	}
+}

@@ -1,0 +1,344 @@
+package exp
+
+import (
+	"time"
+
+	"cij/internal/core"
+	"cij/internal/dataset"
+	"cij/internal/geom"
+)
+
+// Algorithm names in the order the paper plots them.
+var AlgoNames = []string{"FM-CIJ", "PM-CIJ", "NM-CIJ"}
+
+// runAlgo dispatches by index: 0 = FM, 1 = PM, 2 = NM.
+func runAlgo(i int, env *Env, opts core.Options) core.Result {
+	switch i {
+	case 0:
+		return core.FMCIJ(env.RP, env.RQ, Domain, opts)
+	case 1:
+		return core.PMCIJ(env.RP, env.RQ, Domain, opts)
+	default:
+		return core.NMCIJ(env.RP, env.RQ, Domain, opts)
+	}
+}
+
+// countOnly are the Options used by cost experiments: stream-count pairs
+// without retaining them.
+func countOnly() core.Options { return core.Options{Reuse: true, CollectPairs: false} }
+
+// Fig7Row is one algorithm of the Fig. 7 cost breakdown.
+type Fig7Row struct {
+	Algo    string
+	MatIO   int64
+	JoinIO  int64
+	MatCPU  time.Duration
+	JoinCPU time.Duration
+	Pairs   int64
+}
+
+// RunFig7 reproduces Fig. 7: I/O and CPU broken into materialization and
+// join phases at the default setting (|P| = |Q| = n uniform, 2% buffer).
+func RunFig7(n int, seed int64) []Fig7Row {
+	p := dataset.Uniform(n, seed)
+	q := dataset.Uniform(n, seed+1)
+	var rows []Fig7Row
+	for i, name := range AlgoNames {
+		env := BuildEnv(p, q, DefaultPageSize, DefaultBufferPct)
+		var pairs int64
+		opts := countOnly()
+		opts.OnPair = func(core.Pair) { pairs++ }
+		res := runAlgo(i, env, opts)
+		rows = append(rows, Fig7Row{
+			Algo:    name,
+			MatIO:   res.Stats.Mat.PageAccesses(),
+			JoinIO:  res.Stats.Join.PageAccesses(),
+			MatCPU:  res.Stats.MatCPU,
+			JoinCPU: res.Stats.JoinCPU,
+			Pairs:   pairs,
+		})
+	}
+	return rows
+}
+
+// SweepRow is one x-axis point of the Fig. 8/9a sweeps: total I/O of the
+// three algorithms plus the lower bound.
+type SweepRow struct {
+	X    string // axis label (buffer %, datasize, or ratio)
+	FM   int64
+	PM   int64
+	NM   int64
+	LB   int64
+	CPUs [3]time.Duration
+}
+
+// RunFig8a reproduces Fig. 8a: I/O versus LRU buffer size (% of data
+// size), at |P| = |Q| = n.
+func RunFig8a(n int, bufferPcts []float64, seed int64) []SweepRow {
+	p := dataset.Uniform(n, seed)
+	q := dataset.Uniform(n, seed+1)
+	var rows []SweepRow
+	for _, pct := range bufferPcts {
+		row := SweepRow{X: formatPct(pct)}
+		for i := range AlgoNames {
+			env := BuildEnv(p, q, DefaultPageSize, pct)
+			start := time.Now()
+			res := runAlgo(i, env, countOnly())
+			row.CPUs[i] = time.Since(start)
+			setAlgoIO(&row, i, res.Stats.PageAccesses())
+			row.LB = env.LowerBound()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RunFig8b reproduces Fig. 8b: I/O versus datasize with |P| = |Q| = n and
+// the default buffer.
+func RunFig8b(sizes []int, seed int64) []SweepRow {
+	var rows []SweepRow
+	for _, n := range sizes {
+		p := dataset.Uniform(n, seed)
+		q := dataset.Uniform(n, seed+1)
+		row := SweepRow{X: formatK(n)}
+		for i := range AlgoNames {
+			env := BuildEnv(p, q, DefaultPageSize, DefaultBufferPct)
+			start := time.Now()
+			res := runAlgo(i, env, countOnly())
+			row.CPUs[i] = time.Since(start)
+			setAlgoIO(&row, i, res.Stats.PageAccesses())
+			row.LB = env.LowerBound()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Ratio is a |Q|:|P| cardinality ratio of the Fig. 9a/10b/11b sweeps.
+type Ratio struct {
+	QPart, PPart int
+}
+
+// Label renders "1:4" style.
+func (r Ratio) Label() string { return formatInt(r.QPart) + ":" + formatInt(r.PPart) }
+
+// Split divides a total cardinality according to the ratio.
+func (r Ratio) Split(total int) (nq, np int) {
+	nq = total * r.QPart / (r.QPart + r.PPart)
+	return nq, total - nq
+}
+
+// PaperRatios are the five ratios of Fig. 9a.
+var PaperRatios = []Ratio{{1, 4}, {1, 2}, {1, 1}, {2, 1}, {4, 1}}
+
+// RunFig9a reproduces Fig. 9a: I/O versus cardinality ratio |Q|:|P| with
+// |Q| + |P| = total.
+func RunFig9a(total int, ratios []Ratio, seed int64) []SweepRow {
+	var rows []SweepRow
+	for _, r := range ratios {
+		nq, np := r.Split(total)
+		p := dataset.Uniform(np, seed)
+		q := dataset.Uniform(nq, seed+1)
+		row := SweepRow{X: r.Label()}
+		for i := range AlgoNames {
+			env := BuildEnv(p, q, DefaultPageSize, DefaultBufferPct)
+			start := time.Now()
+			res := runAlgo(i, env, countOnly())
+			row.CPUs[i] = time.Since(start)
+			setAlgoIO(&row, i, res.Stats.PageAccesses())
+			row.LB = env.LowerBound()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig9bResult carries the progressive-output curves of the three
+// algorithms: result pairs produced as a function of page accesses.
+type Fig9bResult struct {
+	Curves [3][]core.ProgressPoint
+}
+
+// RunFig9b reproduces Fig. 9b at the default setting.
+func RunFig9b(n int, seed int64) Fig9bResult {
+	p := dataset.Uniform(n, seed)
+	q := dataset.Uniform(n, seed+1)
+	var res Fig9bResult
+	for i := range AlgoNames {
+		env := BuildEnv(p, q, DefaultPageSize, DefaultBufferPct)
+		r := runAlgo(i, env, countOnly())
+		res.Curves[i] = r.Stats.Progress
+	}
+	return res
+}
+
+// Fig10Row is one x-axis point of the false-hit-ratio plots.
+type Fig10Row struct {
+	X          string
+	FHR        float64
+	Candidates int64
+	TrueHits   int64
+}
+
+// RunFig10a reproduces Fig. 10a: NM-CIJ filter false hit ratio versus
+// datasize (|P| = |Q| = n).
+func RunFig10a(sizes []int, seed int64) []Fig10Row {
+	var rows []Fig10Row
+	for _, n := range sizes {
+		p := dataset.Uniform(n, seed)
+		q := dataset.Uniform(n, seed+1)
+		env := BuildEnv(p, q, DefaultPageSize, DefaultBufferPct)
+		res := core.NMCIJ(env.RP, env.RQ, Domain, countOnly())
+		rows = append(rows, Fig10Row{
+			X:          formatK(n),
+			FHR:        res.Stats.FalseHitRatio(),
+			Candidates: res.Stats.Candidates,
+			TrueHits:   res.Stats.TrueHits,
+		})
+	}
+	return rows
+}
+
+// RunFig10b reproduces Fig. 10b: FHR versus cardinality ratio with
+// |Q| + |P| = total.
+func RunFig10b(total int, ratios []Ratio, seed int64) []Fig10Row {
+	var rows []Fig10Row
+	for _, r := range ratios {
+		nq, np := r.Split(total)
+		p := dataset.Uniform(np, seed)
+		q := dataset.Uniform(nq, seed+1)
+		env := BuildEnv(p, q, DefaultPageSize, DefaultBufferPct)
+		res := core.NMCIJ(env.RP, env.RQ, Domain, countOnly())
+		rows = append(rows, Fig10Row{
+			X:          r.Label(),
+			FHR:        res.Stats.FalseHitRatio(),
+			Candidates: res.Stats.Candidates,
+			TrueHits:   res.Stats.TrueHits,
+		})
+	}
+	return rows
+}
+
+// Fig11Row is one x-axis point of the cell-reuse ablation.
+type Fig11Row struct {
+	X       string
+	Reuse   int64 // exact P-cells computed with the reuse buffer
+	NoReuse int64 // without it
+	SizeP   int64 // |P|: the unavoidable minimum
+}
+
+// RunFig11a reproduces Fig. 11a: P-cell computations versus datasize.
+func RunFig11a(sizes []int, seed int64) []Fig11Row {
+	var rows []Fig11Row
+	for _, n := range sizes {
+		p := dataset.Uniform(n, seed)
+		q := dataset.Uniform(n, seed+1)
+		rows = append(rows, runFig11Point(p, q, formatK(n)))
+	}
+	return rows
+}
+
+// RunFig11b reproduces Fig. 11b: P-cell computations versus ratio.
+func RunFig11b(total int, ratios []Ratio, seed int64) []Fig11Row {
+	var rows []Fig11Row
+	for _, r := range ratios {
+		nq, np := r.Split(total)
+		p := dataset.Uniform(np, seed)
+		q := dataset.Uniform(nq, seed+1)
+		rows = append(rows, runFig11Point(p, q, r.Label()))
+	}
+	return rows
+}
+
+func runFig11Point(p, q []geom.Point, label string) Fig11Row {
+	env := BuildEnv(p, q, DefaultPageSize, DefaultBufferPct)
+	withReuse := core.NMCIJ(env.RP, env.RQ, Domain, countOnly())
+	env.Reset()
+	opts := countOnly()
+	opts.Reuse = false
+	withoutReuse := core.NMCIJ(env.RP, env.RQ, Domain, opts)
+	return Fig11Row{
+		X:       label,
+		Reuse:   withReuse.Stats.PCellsComputed,
+		NoReuse: withoutReuse.Stats.PCellsComputed,
+		SizeP:   int64(env.RP.Size()),
+	}
+}
+
+// Table3Row is one dataset pair of Table III.
+type Table3Row struct {
+	Q, P  string
+	Pairs int64
+	FM    int64
+	PM    int64
+	NM    int64
+	LB    int64
+}
+
+// Table3Pairs are the joined dataset pairs of Table III (Q joined with P).
+var Table3Pairs = [][2]string{
+	{"SC", "PP"}, {"CE", "LO"}, {"CE", "SC"}, {"LO", "PP"}, {"PA", "SC"}, {"PA", "PP"},
+}
+
+// RunTable3 reproduces Table III on the real-like datasets at the given
+// scale (1 = paper cardinalities).
+func RunTable3(scale float64) ([]Table3Row, error) {
+	cache := map[string][]geom.Point{}
+	load := func(name string) ([]geom.Point, error) {
+		if pts, ok := cache[name]; ok {
+			return pts, nil
+		}
+		pts, err := dataset.RealLike(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		cache[name] = pts
+		return pts, nil
+	}
+	var rows []Table3Row
+	for _, pair := range Table3Pairs {
+		qPts, err := load(pair[0])
+		if err != nil {
+			return nil, err
+		}
+		pPts, err := load(pair[1])
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Q: pair[0], P: pair[1]}
+		for i := range AlgoNames {
+			env := BuildEnv(pPts, qPts, DefaultPageSize, DefaultBufferPct)
+			var pairs int64
+			opts := countOnly()
+			opts.OnPair = func(core.Pair) { pairs++ }
+			res := runAlgo(i, env, opts)
+			setAlgoIOTable3(&row, i, res.Stats.PageAccesses())
+			row.Pairs = pairs
+			row.LB = env.LowerBound()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func setAlgoIO(row *SweepRow, i int, io int64) {
+	switch i {
+	case 0:
+		row.FM = io
+	case 1:
+		row.PM = io
+	default:
+		row.NM = io
+	}
+}
+
+func setAlgoIOTable3(row *Table3Row, i int, io int64) {
+	switch i {
+	case 0:
+		row.FM = io
+	case 1:
+		row.PM = io
+	default:
+		row.NM = io
+	}
+}

@@ -1,0 +1,20 @@
+package exp
+
+import (
+	"testing"
+
+	"cij/internal/core"
+	"cij/internal/dataset"
+)
+
+// BenchmarkNMProfile exists to profile NM-CIJ hotspots:
+//
+//	go test ./internal/exp -bench NMProfile -benchtime 1x -cpuprofile cpu.out
+func BenchmarkNMProfile(b *testing.B) {
+	p := dataset.Uniform(30000, 1)
+	q := dataset.Uniform(30000, 2)
+	for i := 0; i < b.N; i++ {
+		env := BuildEnv(p, q, DefaultPageSize, DefaultBufferPct)
+		core.NMCIJ(env.RP, env.RQ, Domain, core.Options{Reuse: true})
+	}
+}

@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+
+	"cij/internal/dataset"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+	"cij/internal/voronoi"
+)
+
+// Fig5Row is one query of the Fig. 5 experiment: node accesses and CPU of
+// a single Voronoi-cell computation, for the multi-traversal baseline
+// TP-VOR and the paper's single-traversal BF-VOR.
+type Fig5Row struct {
+	Query     int
+	TPNodes   int64
+	BFNodes   int64
+	TPCPU     time.Duration
+	BFCPU     time.Duration
+	TPProbes  int // separate traversals issued by TP-VOR
+	CellVerts int
+}
+
+// Fig5Result aggregates the individual-query measurements of Fig. 5.
+type Fig5Result struct {
+	N       int
+	Queries []Fig5Row
+}
+
+// Means returns the average node accesses of both methods.
+func (r Fig5Result) Means() (tp, bf float64) {
+	if len(r.Queries) == 0 {
+		return 0, 0
+	}
+	var st, sb int64
+	for _, q := range r.Queries {
+		st += q.TPNodes
+		sb += q.BFNodes
+	}
+	n := float64(len(r.Queries))
+	return float64(st) / n, float64(sb) / n
+}
+
+// RunFig5 reproduces Fig. 5: the cost of computing the Voronoi cells of
+// `queries` points randomly chosen from a uniform dataset of n points,
+// comparing TP-VOR [10] against BF-VOR (Algorithm 1). Node accesses are
+// logical (the experiment is bufferless, as in the paper).
+func RunFig5(n, queries int, seed int64) Fig5Result {
+	pts := dataset.Uniform(n, seed)
+	disk := storage.NewDisk(DefaultPageSize)
+	buf := storage.NewBuffer(disk, 0) // no buffer: node accesses = physical
+	tree := rtree.BulkLoadPoints(buf, pts, Domain, 1)
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	res := Fig5Result{N: n}
+	for qi := 0; qi < queries; qi++ {
+		idx := rng.Intn(len(pts))
+		site := voronoi.Site{ID: int64(idx), Pt: pts[idx]}
+
+		buf.ResetStats()
+		start := time.Now()
+		cell, stats := voronoi.TPVor(tree, site, Domain, 1000)
+		tpCPU := time.Since(start)
+		tpNodes := buf.Stats().LogicalReads
+
+		buf.ResetStats()
+		start = time.Now()
+		cellBF := voronoi.BFVor(tree, site, Domain)
+		bfCPU := time.Since(start)
+		bfNodes := buf.Stats().LogicalReads
+
+		_ = cell
+		res.Queries = append(res.Queries, Fig5Row{
+			Query:     qi,
+			TPNodes:   tpNodes,
+			BFNodes:   bfNodes,
+			TPCPU:     tpCPU,
+			BFCPU:     bfCPU,
+			TPProbes:  stats.Traversals,
+			CellVerts: len(cellBF.V),
+		})
+	}
+	return res
+}
+
+// Fig6Row is one datasize point of Fig. 6: page accesses and CPU of
+// full-diagram computation with ITER and BATCH, against the LB of one tree
+// traversal.
+type Fig6Row struct {
+	N        int
+	IterIO   int64
+	BatchIO  int64
+	LB       int64
+	IterCPU  time.Duration
+	BatchCPU time.Duration
+}
+
+// RunFig6 reproduces Fig. 6: Voronoi diagram computation cost as a
+// function of the datasize, with an LRU buffer of bufferPct% of the tree
+// size (the paper uses 2%; at paper scale that is ~100 pages — scaled-down
+// runs should raise the percentage to keep the same absolute buffer).
+func RunFig6(sizes []int, bufferPct float64, seed int64) []Fig6Row {
+	var rows []Fig6Row
+	for _, n := range sizes {
+		pts := dataset.Uniform(n, seed)
+		disk := storage.NewDisk(DefaultPageSize)
+		buf := storage.NewBuffer(disk, 1<<30)
+		tree := rtree.BulkLoadPoints(buf, pts, Domain, 1)
+		pages := tree.NumPages()
+		bufPages := int(float64(pages) * bufferPct / 100)
+		if bufPages < 1 {
+			bufPages = 1
+		}
+		buf.SetCapacity(bufPages)
+
+		row := Fig6Row{N: n, LB: int64(pages)}
+
+		buf.DropAll()
+		buf.ResetStats()
+		start := time.Now()
+		voronoi.ComputeDiagramIter(tree, Domain, func(voronoi.Cell) {})
+		row.IterCPU = time.Since(start)
+		row.IterIO = buf.Stats().PageAccesses()
+
+		buf.DropAll()
+		buf.ResetStats()
+		start = time.Now()
+		voronoi.ComputeDiagramBatch(tree, Domain, func(voronoi.Cell) {})
+		row.BatchCPU = time.Since(start)
+		row.BatchIO = buf.Stats().PageAccesses()
+
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table2Row is one dataset of Table II: BATCH diagram computation on a
+// real-like dataset.
+type Table2Row struct {
+	Name    string
+	N       int
+	Pages   int64
+	CPU     time.Duration
+	TreeP   int // pages of the input tree (context; not in the paper table)
+	Cells   int
+	AvgArea float64
+}
+
+// RunTable2 reproduces Table II on the clustered stand-ins for the five
+// geonames datasets, at the given scale (1 = paper cardinalities).
+func RunTable2(scale float64, _ int64) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, d := range dataset.RealDatasets {
+		pts, err := dataset.RealLike(d.Name, scale)
+		if err != nil {
+			return nil, err
+		}
+		disk := storage.NewDisk(DefaultPageSize)
+		buf := storage.NewBuffer(disk, 1<<30)
+		tree := rtree.BulkLoadPoints(buf, pts, Domain, 1)
+		pages := tree.NumPages()
+		bufPages := pages * 2 / 100
+		if bufPages < 1 {
+			bufPages = 1
+		}
+		buf.SetCapacity(bufPages)
+		buf.DropAll()
+		buf.ResetStats()
+
+		start := time.Now()
+		cells := 0
+		var areaSum float64
+		voronoi.ComputeDiagramBatch(tree, Domain, func(c voronoi.Cell) {
+			cells++
+			areaSum += c.Poly.Area()
+		})
+		cpu := time.Since(start)
+
+		rows = append(rows, Table2Row{
+			Name:  d.Name,
+			N:     len(pts),
+			Pages: buf.Stats().PageAccesses(),
+			CPU:   cpu,
+			TreeP: pages,
+			Cells: cells,
+			AvgArea: func() float64 {
+				if cells == 0 {
+					return 0
+				}
+				return areaSum / float64(cells)
+			}(),
+		})
+	}
+	return rows, nil
+}

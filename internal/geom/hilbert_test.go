@@ -1,0 +1,97 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertRoundTrip(t *testing.T) {
+	// XY2D and D2XY must be inverse bijections on the grid.
+	f := func(xr, yr uint32) bool {
+		x := xr % hilbertSide
+		y := yr % hilbertSide
+		d := HilbertXY2D(HilbertOrder, x, y)
+		gx, gy := HilbertD2XY(HilbertOrder, d)
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertSmallOrderExhaustive(t *testing.T) {
+	// Order-3 curve: all 64 cells have distinct d covering 0..63, and
+	// consecutive d values are grid neighbors (the locality property the
+	// bulk loader relies on).
+	const order = 3
+	const side = 1 << order
+	seen := make(map[uint64][2]uint32)
+	for x := uint32(0); x < side; x++ {
+		for y := uint32(0); y < side; y++ {
+			d := HilbertXY2D(order, x, y)
+			if d >= side*side {
+				t.Fatalf("d=%d out of range for order %d", d, order)
+			}
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("duplicate d=%d for (%d,%d) and %v", d, x, y, prev)
+			}
+			seen[d] = [2]uint32{x, y}
+		}
+	}
+	for d := uint64(0); d+1 < side*side; d++ {
+		a, b := seen[d], seen[d+1]
+		dx := int(a[0]) - int(b[0])
+		dy := int(a[1]) - int(b[1])
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("curve jump between d=%d %v and d=%d %v", d, a, d+1, b)
+		}
+	}
+}
+
+func TestHilbertValueClamping(t *testing.T) {
+	dom := NewRect(0, 0, 10000, 10000)
+	inside := HilbertValue(Pt(5000, 5000), dom)
+	if inside == 0 {
+		t.Error("center of domain should not map to 0")
+	}
+	// Outside points clamp instead of wrapping.
+	if HilbertValue(Pt(-100, -100), dom) != HilbertValue(Pt(0, 0), dom) {
+		t.Error("outside point should clamp to corner")
+	}
+	if HilbertValue(Pt(20000, 20000), dom) != HilbertValue(Pt(10000-1e-9, 10000-1e-9), dom) {
+		t.Error("outside point should clamp to far corner")
+	}
+	// Degenerate domain.
+	if HilbertValue(Pt(1, 1), NewRect(5, 5, 5, 5)) != 0 {
+		t.Error("degenerate domain maps everything to 0")
+	}
+}
+
+func TestHilbertLocality(t *testing.T) {
+	// Statistical locality check: points close in space should, on
+	// average, have much closer Hilbert values than random pairs. This is
+	// a sanity property, not a strict guarantee.
+	rng := rand.New(rand.NewSource(9))
+	dom := NewRect(0, 0, 10000, 10000)
+	var nearSum, farSum float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		p := Pt(rng.Float64()*9000+500, rng.Float64()*9000+500)
+		q := Pt(p.X+rng.Float64()*10-5, p.Y+rng.Float64()*10-5)
+		r := Pt(rng.Float64()*10000, rng.Float64()*10000)
+		dp, dq, dr := HilbertValue(p, dom), HilbertValue(q, dom), HilbertValue(r, dom)
+		nearSum += absDiffU64(dp, dq)
+		farSum += absDiffU64(dp, dr)
+	}
+	if nearSum >= farSum/10 {
+		t.Errorf("poor Hilbert locality: near=%v far=%v", nearSum/trials, farSum/trials)
+	}
+}
+
+func absDiffU64(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}

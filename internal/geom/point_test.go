@@ -1,0 +1,105 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-2, 0), Pt(2, 0), 4},
+		{Pt(0, -3), Pt(0, 3), 6},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := c.p.Dist2(c.q); math.Abs(got-c.want*c.want) > 1e-9 {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", c.p, c.q, got, c.want*c.want)
+		}
+	}
+}
+
+func TestPointDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(clampCoord(ax), clampCoord(ay)), Pt(clampCoord(bx), clampCoord(by))
+		return math.Abs(a.Dist(b)-b.Dist(a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Pt(clampCoord(ax), clampCoord(ay))
+		b := Pt(clampCoord(bx), clampCoord(by))
+		c := Pt(clampCoord(cx), clampCoord(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointVectorOps(t *testing.T) {
+	a, b := Pt(1, 2), Pt(3, -4)
+	if got := a.Add(b); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := Centroid(pts); !got.Eq(Pt(1, 1)) {
+		t.Errorf("Centroid = %v, want (1,1)", got)
+	}
+	if got := Centroid([]Point{Pt(5, 7)}); !got.Eq(Pt(5, 7)) {
+		t.Errorf("Centroid single = %v", got)
+	}
+}
+
+func TestCentroidEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty centroid")
+		}
+	}()
+	Centroid(nil)
+}
+
+func TestPointEq(t *testing.T) {
+	if !Pt(1, 1).Eq(Pt(1+Eps/2, 1-Eps/2)) {
+		t.Error("points within Eps should be equal")
+	}
+	if Pt(1, 1).Eq(Pt(1.001, 1)) {
+		t.Error("points 1e-3 apart should differ")
+	}
+}
+
+// clampCoord maps an arbitrary quick-generated float into the paper's
+// domain scale, avoiding NaN/Inf noise in property tests.
+func clampCoord(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(f), 10000)
+}

@@ -1,0 +1,333 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unitSquare() Polygon { return NewRect(0, 0, 10, 10).Polygon() }
+
+func TestBisectorSidedness(t *testing.T) {
+	// Every location in ⊥pi(pi,pj) must be at least as close to pi as pj,
+	// and vice versa — checked on random triples.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		pi := Pt(rng.Float64()*10000, rng.Float64()*10000)
+		pj := Pt(rng.Float64()*10000, rng.Float64()*10000)
+		a := Pt(rng.Float64()*10000, rng.Float64()*10000)
+		if pi.Eq(pj) {
+			continue
+		}
+		h := Bisector(pi, pj)
+		closerToPi := a.Dist2(pi) <= a.Dist2(pj)
+		if h.Contains(a) != closerToPi {
+			// Allow near-boundary fuzz.
+			if math.Abs(a.Dist(pi)-a.Dist(pj)) > 1e-6 {
+				t.Fatalf("bisector sidedness mismatch: pi=%v pj=%v a=%v", pi, pj, a)
+			}
+		}
+	}
+}
+
+func TestClipHalfSquare(t *testing.T) {
+	// Clip the square by the halfplane x ≤ 5.
+	g := unitSquare().Clip(Halfplane{N: Pt(1, 0), C: 5})
+	if g.IsEmpty() {
+		t.Fatal("clip should not empty the square")
+	}
+	if math.Abs(g.Area()-50) > 1e-6 {
+		t.Errorf("Area = %v, want 50", g.Area())
+	}
+	if !g.IsConvexCCW() {
+		t.Error("clip result should stay convex CCW")
+	}
+	for _, v := range g.V {
+		if v.X > 5+1e-9 {
+			t.Errorf("vertex %v escapes the halfplane", v)
+		}
+	}
+}
+
+func TestClipEntirePolygonKept(t *testing.T) {
+	g := unitSquare().Clip(Halfplane{N: Pt(1, 0), C: 100})
+	if math.Abs(g.Area()-100) > 1e-6 {
+		t.Errorf("clip by covering halfplane changed area: %v", g.Area())
+	}
+}
+
+func TestClipToEmpty(t *testing.T) {
+	g := unitSquare().Clip(Halfplane{N: Pt(1, 0), C: -1})
+	if !g.IsEmpty() {
+		t.Errorf("clip by disjoint halfplane should empty the polygon, got %v", g)
+	}
+	// Clipping an empty polygon stays empty.
+	if got := g.Clip(Halfplane{N: Pt(0, 1), C: 3}); !got.IsEmpty() {
+		t.Error("clipping empty polygon should stay empty")
+	}
+}
+
+func TestClipCorner(t *testing.T) {
+	// Cut the corner x+y ≤ 15 off the 10x10 square: removes a right
+	// triangle with legs 5, area 12.5.
+	g := unitSquare().Clip(Halfplane{N: Pt(1, 1), C: 15})
+	if math.Abs(g.Area()-(100-12.5)) > 1e-6 {
+		t.Errorf("Area = %v, want 87.5", g.Area())
+	}
+	if len(g.V) != 5 {
+		t.Errorf("corner cut should give 5 vertices, got %d (%v)", len(g.V), g)
+	}
+}
+
+func TestClipPropertyMonotoneConvex(t *testing.T) {
+	// Property: clipping never increases area, keeps convexity/orientation,
+	// and every surviving vertex satisfies the halfplane.
+	rng := rand.New(rand.NewSource(7))
+	g := unitSquare()
+	for i := 0; i < 500; i++ {
+		pi := Pt(rng.Float64()*10, rng.Float64()*10)
+		pj := Pt(rng.Float64()*10, rng.Float64()*10)
+		if pi.Eq(pj) {
+			continue
+		}
+		h := Bisector(pi, pj)
+		before := g.Area()
+		clipped := g.Clip(h)
+		if clipped.Area() > before+1e-6 {
+			t.Fatalf("clip grew area: %v -> %v", before, clipped.Area())
+		}
+		if !clipped.IsEmpty() {
+			if !clipped.IsConvexCCW() {
+				t.Fatalf("clip broke convexity at iter %d: %v", i, clipped)
+			}
+			for _, v := range clipped.V {
+				if h.Side(v) > 1e-5*h.scale() {
+					t.Fatalf("vertex %v outside halfplane (side=%v)", v, h.Side(v))
+				}
+			}
+		}
+		// Keep clipping the same polygon only while it stays big enough to
+		// be interesting; otherwise restart.
+		if clipped.IsEmpty() || clipped.Area() < 1 {
+			g = unitSquare()
+		} else {
+			g = clipped
+		}
+	}
+}
+
+func TestClipBisectorKeepsOwnSide(t *testing.T) {
+	g := unitSquare().ClipBisector(Pt(2, 5), Pt(8, 5))
+	// Bisector is x=5; pi side is x ≤ 5.
+	if math.Abs(g.Area()-50) > 1e-6 {
+		t.Errorf("Area = %v, want 50", g.Area())
+	}
+	if !g.Contains(Pt(2, 5)) {
+		t.Error("cell must contain its own site")
+	}
+	if g.Contains(Pt(8, 5)) {
+		t.Error("cell must not contain the other site")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	g := unitSquare()
+	if !g.Contains(Pt(5, 5)) || !g.Contains(Pt(0, 0)) || !g.Contains(Pt(10, 5)) {
+		t.Error("square should contain interior and boundary points")
+	}
+	if g.Contains(Pt(10.1, 5)) || g.Contains(Pt(-0.1, -0.1)) {
+		t.Error("square should exclude outside points")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	tri := Polygon{V: []Point{Pt(0, 0), Pt(4, 0), Pt(0, 3)}}
+	if math.Abs(tri.Area()-6) > 1e-12 {
+		t.Errorf("triangle area = %v, want 6", tri.Area())
+	}
+	if got := (Polygon{}).Area(); got != 0 {
+		t.Errorf("empty polygon area = %v", got)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	g := unitSquare()
+	if got := g.Centroid(); !got.Eq(Pt(5, 5)) {
+		t.Errorf("square centroid = %v", got)
+	}
+	tri := Polygon{V: []Point{Pt(0, 0), Pt(3, 0), Pt(0, 3)}}
+	if got := tri.Centroid(); !got.Eq(Pt(1, 1)) {
+		t.Errorf("triangle centroid = %v, want (1,1)", got)
+	}
+}
+
+func TestPolygonIntersects(t *testing.T) {
+	a := NewRect(0, 0, 4, 4).Polygon()
+	cases := []struct {
+		b    Polygon
+		want bool
+	}{
+		{NewRect(2, 2, 6, 6).Polygon(), true},
+		{NewRect(5, 5, 6, 6).Polygon(), false},
+		{NewRect(4, 0, 8, 4).Polygon(), true}, // shared edge counts
+		{NewRect(1, 1, 2, 2).Polygon(), true}, // containment counts
+		{Polygon{V: []Point{Pt(5, 2), Pt(8, 0), Pt(8, 4)}}, false},
+		{Polygon{V: []Point{Pt(3, 2), Pt(8, 0), Pt(8, 4)}}, true},
+	}
+	for i, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("case %d: Intersects not symmetric", i)
+		}
+	}
+	if a.Intersects(Polygon{}) || (Polygon{}).Intersects(a) {
+		t.Error("empty polygon intersects nothing")
+	}
+}
+
+func TestPolygonIntersectsRect(t *testing.T) {
+	tri := Polygon{V: []Point{Pt(0, 0), Pt(4, 0), Pt(0, 4)}}
+	if !tri.IntersectsRect(NewRect(1, 1, 2, 2)) {
+		t.Error("triangle should intersect inner rect")
+	}
+	if tri.IntersectsRect(NewRect(3.5, 3.5, 5, 5)) {
+		t.Error("triangle should miss far corner rect")
+	}
+}
+
+func TestPolygonIntersectionRegion(t *testing.T) {
+	a := NewRect(0, 0, 4, 4).Polygon()
+	b := NewRect(2, 2, 6, 6).Polygon()
+	r := a.Intersection(b)
+	if math.Abs(r.Area()-4) > 1e-9 {
+		t.Errorf("intersection area = %v, want 4", r.Area())
+	}
+	bounds := r.Bounds()
+	want := NewRect(2, 2, 4, 4)
+	if math.Abs(bounds.MinX-want.MinX) > 1e-9 || math.Abs(bounds.MaxX-want.MaxX) > 1e-9 ||
+		math.Abs(bounds.MinY-want.MinY) > 1e-9 || math.Abs(bounds.MaxY-want.MaxY) > 1e-9 {
+		t.Errorf("intersection bounds = %v, want %v", bounds, want)
+	}
+	// Disjoint polygons intersect in the empty polygon.
+	c := NewRect(10, 10, 12, 12).Polygon()
+	if got := a.Intersection(c); !got.IsEmpty() {
+		t.Errorf("disjoint intersection = %v, want empty", got)
+	}
+}
+
+func TestIntersectionConsistentWithIntersects(t *testing.T) {
+	// Property: Intersects(a,b) == !a.Intersection(b).IsEmpty() up to
+	// boundary-degenerate cases (touching polygons have empty-area
+	// intersection). We only assert the implication intersection-nonempty
+	// ⇒ intersects.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		a := randConvex(rng)
+		b := randConvex(rng)
+		inter := a.Intersection(b)
+		if !inter.IsEmpty() && inter.Area() > 1e-6 {
+			if !a.Intersects(b) {
+				t.Fatalf("nonempty intersection but Intersects false:\na=%v\nb=%v", a, b)
+			}
+		}
+		if a.Intersects(b) && inter.IsEmpty() {
+			// Only acceptable if the overlap is degenerate (touching).
+			// Verify no interior point of a is strictly inside b.
+			ca := a.Centroid()
+			cb := b.Centroid()
+			if b.Contains(ca) && a.Contains(cb) {
+				t.Fatalf("contained centroids but empty intersection:\na=%v\nb=%v", a, b)
+			}
+		}
+	}
+}
+
+// randConvex generates a random convex polygon by clipping the domain
+// square with a few random bisectors around a center point.
+func randConvex(rng *rand.Rand) Polygon {
+	g := unitSquare()
+	c := Pt(rng.Float64()*10, rng.Float64()*10)
+	k := 3 + rng.Intn(4)
+	for i := 0; i < k && !g.IsEmpty(); i++ {
+		other := Pt(rng.Float64()*10, rng.Float64()*10)
+		if other.Eq(c) {
+			continue
+		}
+		g = g.ClipBisector(c, other)
+	}
+	if g.IsEmpty() {
+		return unitSquare()
+	}
+	return g
+}
+
+func TestVoronoiCellByDirectClipping(t *testing.T) {
+	// Build the Voronoi cell of the center of a 3x3 grid by clipping, then
+	// verify it is the expected unit-ish square.
+	pts := []Point{}
+	for _, x := range []float64{2, 5, 8} {
+		for _, y := range []float64{2, 5, 8} {
+			pts = append(pts, Pt(x, y))
+		}
+	}
+	center := Pt(5, 5)
+	cell := unitSquare()
+	for _, p := range pts {
+		if p.Eq(center) {
+			continue
+		}
+		cell = cell.ClipBisector(center, p)
+	}
+	// Cell should be the square [3.5,6.5]² of area 9.
+	if math.Abs(cell.Area()-9) > 1e-6 {
+		t.Errorf("center cell area = %v, want 9", cell.Area())
+	}
+	if !cell.Contains(center) {
+		t.Error("cell must contain its site")
+	}
+}
+
+func TestIsConvexCCW(t *testing.T) {
+	if (Polygon{V: []Point{Pt(0, 0), Pt(1, 0)}}).IsConvexCCW() {
+		t.Error("two points are not a polygon")
+	}
+	cw := Polygon{V: []Point{Pt(0, 0), Pt(0, 1), Pt(1, 1), Pt(1, 0)}}
+	if cw.IsConvexCCW() {
+		t.Error("clockwise square should fail CCW check")
+	}
+	nonConvex := Polygon{V: []Point{Pt(0, 0), Pt(4, 0), Pt(2, 1), Pt(4, 4), Pt(0, 4)}}
+	if nonConvex.IsConvexCCW() {
+		t.Error("star-like polygon should fail convexity")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := unitSquare()
+	c := g.Clone()
+	c.V[0] = Pt(99, 99)
+	if g.V[0].Eq(Pt(99, 99)) {
+		t.Error("Clone must deep-copy vertices")
+	}
+}
+
+func TestBisectorQuick(t *testing.T) {
+	f := func(x1, y1, x2, y2, ax, ay float64) bool {
+		pi, pj := Pt(clampCoord(x1), clampCoord(y1)), Pt(clampCoord(x2), clampCoord(y2))
+		a := Pt(clampCoord(ax), clampCoord(ay))
+		if pi.Dist(pj) < 1e-6 {
+			return true
+		}
+		h := Bisector(pi, pj)
+		d := a.Dist(pi) - a.Dist(pj)
+		if math.Abs(d) < 1e-6 {
+			return true // too close to the boundary to classify
+		}
+		return h.Contains(a) == (d < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

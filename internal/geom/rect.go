@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle (a minimum bounding rectangle, MBR).
+// A Rect with MinX > MaxX is the canonical empty rectangle, as produced by
+// EmptyRect.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect builds the rectangle spanning the two corner points in any order.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	return Rect{
+		MinX: math.Min(x1, x2), MinY: math.Min(y1, y2),
+		MaxX: math.Max(x1, x2), MaxY: math.Max(y1, y2),
+	}
+}
+
+// EmptyRect returns the identity element for Union: any rectangle union
+// EmptyRect is that rectangle.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// RectFromPoint returns the degenerate rectangle covering exactly p.
+func RectFromPoint(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+// IsEmpty reports whether r is the empty rectangle.
+func (r Rect) IsEmpty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns the x-extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the y-extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r, zero for degenerate or empty rectangles.
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Margin returns half the perimeter of r (the classic R*-tree margin
+// metric).
+func (r Rect) Margin() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Width() + r.Height()
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX), MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX), MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// UnionPoint returns the smallest rectangle covering r and p.
+func (r Rect) UnionPoint(p Point) Rect { return r.Union(RectFromPoint(p)) }
+
+// Intersects reports whether r and s share any point (closed rectangles,
+// touching counts).
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.MinX <= s.MaxX+Eps && s.MinX <= r.MaxX+Eps &&
+		r.MinY <= s.MaxY+Eps && s.MinY <= r.MaxY+Eps
+}
+
+// Contains reports whether p lies in the closed rectangle r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX-Eps && p.X <= r.MaxX+Eps &&
+		p.Y >= r.MinY-Eps && p.Y <= r.MaxY+Eps
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	return s.MinX >= r.MinX-Eps && s.MaxX <= r.MaxX+Eps &&
+		s.MinY >= r.MinY-Eps && s.MaxY <= r.MaxY+Eps
+}
+
+// Enlargement returns the area increase needed for r to cover s. It is the
+// cost metric of Guttman's ChooseLeaf.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// MinDist returns the minimum Euclidean distance between p and any point of
+// r; zero if p is inside r. This is the mindist(e, p) of the paper.
+func (r Rect) MinDist(p Point) float64 {
+	return math.Sqrt(r.MinDist2(p))
+}
+
+// MinDist2 returns the squared minimum distance between p and r.
+// (Hand-rolled comparisons: math.Max's NaN handling is measurable overhead
+// in the best-first traversals, which call this for every heap entry.)
+func (r Rect) MinDist2(p Point) float64 {
+	var dx, dy float64
+	if p.X < r.MinX {
+		dx = r.MinX - p.X
+	} else if p.X > r.MaxX {
+		dx = p.X - r.MaxX
+	}
+	if p.Y < r.MinY {
+		dy = r.MinY - p.Y
+	} else if p.Y > r.MaxY {
+		dy = p.Y - r.MaxY
+	}
+	return dx*dx + dy*dy
+}
+
+// MinDistRect returns the minimum distance between rectangles r and s; zero
+// if they intersect. It is the mindist(e_P, e_Q) used by ε-distance joins.
+func (r Rect) MinDistRect(s Rect) float64 {
+	dx := math.Max(0, math.Max(r.MinX-s.MaxX, s.MinX-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-s.MaxY, s.MinY-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// MaxDist returns the maximum distance between p and any point of r (the
+// distance to the farthest corner).
+func (r Rect) MaxDist(p Point) float64 {
+	dx := math.Max(math.Abs(p.X-r.MinX), math.Abs(p.X-r.MaxX))
+	dy := math.Max(math.Abs(p.Y-r.MinY), math.Abs(p.Y-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// Corners returns the four corners of r in counter-clockwise order starting
+// from (MinX, MinY).
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		{r.MinX, r.MinY},
+		{r.MaxX, r.MinY},
+		{r.MaxX, r.MaxY},
+		{r.MinX, r.MaxY},
+	}
+}
+
+// Sides returns the four boundary segments of r in counter-clockwise order.
+// These are the sides L over which the Φ(L, p) pruning test of the
+// ConditionalFilter iterates.
+func (r Rect) Sides() [4]Segment {
+	c := r.Corners()
+	return [4]Segment{
+		{c[0], c[1]},
+		{c[1], c[2]},
+		{c[2], c[3]},
+		{c[3], c[0]},
+	}
+}
+
+// Polygon returns r as a counter-clockwise convex polygon.
+func (r Rect) Polygon() Polygon {
+	c := r.Corners()
+	return Polygon{V: c[:]}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.6g,%.6g]x[%.6g,%.6g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(4, 5, 0, 1) // corners given in reversed order
+	if r.MinX != 0 || r.MinY != 1 || r.MaxX != 4 || r.MaxY != 5 {
+		t.Fatalf("NewRect normalization failed: %v", r)
+	}
+	if got := r.Area(); got != 16 {
+		t.Errorf("Area = %v, want 16", got)
+	}
+	if got := r.Margin(); got != 8 {
+		t.Errorf("Margin = %v, want 8", got)
+	}
+	if got := r.Center(); !got.Eq(Pt(2, 3)) {
+		t.Errorf("Center = %v, want (2,3)", got)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect should be empty")
+	}
+	if e.Area() != 0 {
+		t.Error("empty rect area should be 0")
+	}
+	r := NewRect(0, 0, 1, 1)
+	if got := e.Union(r); got != r {
+		t.Errorf("EmptyRect ∪ r = %v, want %v", got, r)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r ∪ EmptyRect = %v, want %v", got, r)
+	}
+	if e.Intersects(r) {
+		t.Error("empty rect should intersect nothing")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{NewRect(1, 1, 3, 3), true},
+		{NewRect(2, 2, 3, 3), true}, // touching at a corner counts
+		{NewRect(3, 3, 4, 4), false},
+		{NewRect(0.5, 0.5, 1.5, 1.5), true}, // contained
+		{NewRect(-1, 0, 0, 2), true},        // touching along an edge
+		{NewRect(0, 3, 2, 4), false},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	if !r.Contains(Pt(5, 5)) || !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 10)) {
+		t.Error("closed rect should contain interior and boundary")
+	}
+	if r.Contains(Pt(10.5, 5)) || r.Contains(Pt(-0.5, 5)) {
+		t.Error("rect should not contain outside points")
+	}
+	if !r.ContainsRect(NewRect(1, 1, 9, 9)) {
+		t.Error("should contain inner rect")
+	}
+	if r.ContainsRect(NewRect(1, 1, 11, 9)) {
+		t.Error("should not contain overflowing rect")
+	}
+	if !r.ContainsRect(EmptyRect()) {
+		t.Error("every rect contains the empty rect")
+	}
+}
+
+func TestRectMinDist(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(1, 1), 0},           // inside
+		{Pt(0, 0), 0},           // corner
+		{Pt(5, 1), 3},           // right side
+		{Pt(1, -2), 2},          // below
+		{Pt(5, 6), 5},           // diagonal: 3-4-5 triangle
+		{Pt(-3, -4), 5},         // diagonal other corner
+		{Pt(2, 2.0001), 0.0001}, // just above
+	}
+	for _, c := range cases {
+		if got := r.MinDist(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("MinDist(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectMinDistLowerBoundsPointDist(t *testing.T) {
+	// mindist(e, p) must lower-bound dist(q, p) for every q in e — the
+	// property Lemma 2 relies on.
+	f := func(x1, y1, x2, y2, px, py, qx, qy float64) bool {
+		r := NewRect(clampCoord(x1), clampCoord(y1), clampCoord(x2), clampCoord(y2))
+		p := Pt(clampCoord(px), clampCoord(py))
+		// Map q into the rectangle.
+		q := Pt(
+			r.MinX+math.Mod(math.Abs(clampCoord(qx)), r.Width()+1e-9),
+			r.MinY+math.Mod(math.Abs(clampCoord(qy)), r.Height()+1e-9),
+		)
+		if !r.Contains(q) {
+			return true // degenerate rect; skip
+		}
+		return r.MinDist(p) <= p.Dist(q)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectMinDistRect(t *testing.T) {
+	a := NewRect(0, 0, 1, 1)
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{NewRect(0.5, 0.5, 2, 2), 0},
+		{NewRect(2, 0, 3, 1), 1},
+		{NewRect(4, 5, 6, 7), 5}, // dx=3, dy=4
+	}
+	for _, c := range cases {
+		if got := a.MinDistRect(c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("MinDistRect(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestRectMaxDist(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	if got := r.MaxDist(Pt(0, 0)); math.Abs(got-2*math.Sqrt2) > 1e-9 {
+		t.Errorf("MaxDist corner = %v", got)
+	}
+	if got := r.MaxDist(Pt(1, 1)); math.Abs(got-math.Sqrt2) > 1e-9 {
+		t.Errorf("MaxDist center = %v", got)
+	}
+}
+
+func TestRectUnionCommutativeCoversBoth(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		a := NewRect(clampCoord(x1), clampCoord(y1), clampCoord(x2), clampCoord(y2))
+		b := NewRect(clampCoord(x3), clampCoord(y3), clampCoord(x4), clampCoord(y4))
+		u := a.Union(b)
+		return u == b.Union(a) && u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectEnlargement(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	if got := a.Enlargement(NewRect(1, 1, 2, 2)); got != 0 {
+		t.Errorf("no enlargement needed, got %v", got)
+	}
+	if got := a.Enlargement(NewRect(0, 0, 4, 2)); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Enlargement = %v, want 4", got)
+	}
+}
+
+func TestRectCornersSidesPolygon(t *testing.T) {
+	r := NewRect(0, 0, 2, 1)
+	c := r.Corners()
+	want := [4]Point{{0, 0}, {2, 0}, {2, 1}, {0, 1}}
+	if c != want {
+		t.Errorf("Corners = %v", c)
+	}
+	for i, s := range r.Sides() {
+		if s.A != c[i] || s.B != c[(i+1)%4] {
+			t.Errorf("side %d = %v, want %v→%v", i, s, c[i], c[(i+1)%4])
+		}
+	}
+	poly := r.Polygon()
+	if !poly.IsConvexCCW() {
+		t.Error("rect polygon should be convex CCW")
+	}
+	if math.Abs(poly.Area()-r.Area()) > 1e-12 {
+		t.Errorf("polygon area %v != rect area %v", poly.Area(), r.Area())
+	}
+}

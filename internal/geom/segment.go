@@ -1,0 +1,67 @@
+package geom
+
+import "math"
+
+// Segment is a closed line segment between two endpoints.
+type Segment struct {
+	A, B Point
+}
+
+// Len returns the length of the segment.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// DistPoint returns the minimum distance between point t and the segment.
+//
+// This is the mindist(L, b) of Eq. 3 in the paper: the region Φ(L, p) is
+// {b : dist(p, b) ≤ mindist(L, b)}, whose boundary is piecewise
+// linear/parabolic; membership of a point reduces to this distance
+// comparison, so no explicit parabola construction is needed.
+func (s Segment) DistPoint(t Point) float64 {
+	return math.Sqrt(s.Dist2Point(t))
+}
+
+// Dist2Point returns the squared minimum distance between t and the
+// segment.
+func (s Segment) Dist2Point(t Point) float64 {
+	ab := s.B.Sub(s.A)
+	at := t.Sub(s.A)
+	den := ab.Dot(ab)
+	if den <= 0 {
+		// Degenerate segment: a single point.
+		return at.Dot(at)
+	}
+	// Projection parameter of t onto the supporting line, clamped to the
+	// segment. u < 0 falls in partition A1 of Fig. 4b (closest to endpoint
+	// A), u > 1 in A3 (closest to B), and 0 ≤ u ≤ 1 in A2 (perpendicular
+	// foot inside the segment).
+	u := at.Dot(ab) / den
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	foot := s.A.Add(ab.Scale(u))
+	return t.Dist2(foot)
+}
+
+// InPhi reports whether point t lies in Φ(L, p) = {b : dist(p,b) ≤
+// mindist(L,b)} for this segment L: t is at least as close to p as to any
+// location on L.
+func (s Segment) InPhi(p, t Point) bool {
+	return p.Dist2(t) <= s.Dist2Point(t)+Eps
+}
+
+// PolygonInPhi reports whether the whole convex polygon T falls inside
+// Φ(L, p). By Lemma 3 of the paper it suffices to test the vertices,
+// because both T and Φ(L, p) are convex.
+func (s Segment) PolygonInPhi(p Point, t Polygon) bool {
+	if t.IsEmpty() {
+		return true
+	}
+	for _, v := range t.V {
+		if !s.InPhi(p, v) {
+			return false
+		}
+	}
+	return true
+}

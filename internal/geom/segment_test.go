@@ -1,0 +1,133 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistPointSegment(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(5, 3), 3},   // perpendicular foot inside (partition A2)
+		{Pt(-3, 4), 5},  // beyond endpoint A (partition A1)
+		{Pt(13, 4), 5},  // beyond endpoint B (partition A3)
+		{Pt(7, 0), 0},   // on the segment
+		{Pt(0, 0), 0},   // endpoint
+		{Pt(10, -2), 2}, // below endpoint B
+	}
+	for _, c := range cases {
+		if got := s.DistPoint(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("DistPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDistPointDegenerateSegment(t *testing.T) {
+	s := Segment{Pt(3, 3), Pt(3, 3)}
+	if got := s.DistPoint(Pt(0, -1)); math.Abs(got-5) > 1e-9 {
+		t.Errorf("degenerate segment dist = %v, want 5", got)
+	}
+}
+
+func TestDistPointSegmentLowerBound(t *testing.T) {
+	// dist(t, segment) must lower-bound dist(t, x) for every x on the
+	// segment.
+	f := func(ax, ay, bx, by, tx, ty, u float64) bool {
+		s := Segment{
+			Pt(clampCoord(ax), clampCoord(ay)),
+			Pt(clampCoord(bx), clampCoord(by)),
+		}
+		tp := Pt(clampCoord(tx), clampCoord(ty))
+		uu := math.Mod(math.Abs(clampCoord(u)), 1)
+		x := s.A.Add(s.B.Sub(s.A).Scale(uu))
+		return s.DistPoint(tp) <= tp.Dist(x)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInPhiSemantics(t *testing.T) {
+	// Φ(L, p) = {b : dist(p,b) ≤ mindist(L,b)}. Verify against the
+	// definition directly on random instances.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		s := Segment{
+			Pt(rng.Float64()*100, rng.Float64()*100),
+			Pt(rng.Float64()*100, rng.Float64()*100),
+		}
+		p := Pt(rng.Float64()*100, rng.Float64()*100)
+		b := Pt(rng.Float64()*100, rng.Float64()*100)
+		want := p.Dist(b) <= s.DistPoint(b)+1e-9
+		if got := s.InPhi(p, b); got != want {
+			if math.Abs(p.Dist(b)-s.DistPoint(b)) > 1e-6 {
+				t.Fatalf("InPhi mismatch: s=%v p=%v b=%v", s, p, b)
+			}
+		}
+	}
+}
+
+func TestPolygonInPhi(t *testing.T) {
+	// Side L of a far-away rectangle; p close to the polygon. The whole
+	// polygon is nearer to p than to L.
+	l := Segment{Pt(100, 0), Pt(100, 10)}
+	p := Pt(5, 5)
+	g := NewRect(0, 0, 10, 10).Polygon()
+	if !l.PolygonInPhi(p, g) {
+		t.Error("polygon near p should fall in Φ(L,p) for distant L")
+	}
+	// L crossing right next to the polygon, p far: not contained.
+	l2 := Segment{Pt(11, -100), Pt(11, 100)}
+	p2 := Pt(500, 5)
+	if l2.PolygonInPhi(p2, g) {
+		t.Error("polygon near L should not fall in Φ(L,p) for distant p")
+	}
+	// Empty polygon is vacuously contained.
+	if !l.PolygonInPhi(p, Polygon{}) {
+		t.Error("empty polygon is vacuously in Φ")
+	}
+}
+
+func TestPolygonInPhiLemma3(t *testing.T) {
+	// Lemma 3: if every vertex of convex T is in Φ(L,p), then all of T is.
+	// Cross-check by sampling interior points of T.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		l := Segment{
+			Pt(rng.Float64()*100, rng.Float64()*100),
+			Pt(rng.Float64()*100, rng.Float64()*100),
+		}
+		p := Pt(rng.Float64()*100, rng.Float64()*100)
+		g := randConvex(rng) // lives in [0,10]²
+		if !l.PolygonInPhi(p, g) {
+			continue
+		}
+		// Sample convex combinations of vertices.
+		for k := 0; k < 20; k++ {
+			w := make([]float64, len(g.V))
+			var sum float64
+			for j := range w {
+				w[j] = rng.Float64()
+				sum += w[j]
+			}
+			var pt Point
+			for j, v := range g.V {
+				pt = pt.Add(v.Scale(w[j] / sum))
+			}
+			if !l.InPhi(p, pt) && p.Dist(pt)-l.DistPoint(pt) > 1e-6 {
+				t.Fatalf("Lemma 3 violated at interior point %v", pt)
+			}
+		}
+	}
+}
+
+func TestSegmentLen(t *testing.T) {
+	if got := (Segment{Pt(0, 0), Pt(3, 4)}).Len(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Len = %v, want 5", got)
+	}
+}

@@ -1,0 +1,203 @@
+// Package geom3 provides the 3D geometry for the paper's first
+// future-work item (Section VI): "we will extend our solutions for 3D
+// points, with the intuition that the convex polygon Vc(pi) ... in 2D
+// space is analogous to a convex polyhedron in 3D space."
+//
+// Polyhedra are kept in H-representation (a list of closed halfspaces,
+// always including the six domain-box faces, so every polyhedron is
+// bounded) with vertices enumerated on demand by triple-plane
+// intersection. That favors exactly the operations the Voronoi/CIJ
+// algorithms need — clip by a bisector, inspect the vertex set Γc for
+// Lemma 1/2 pruning, test intersection, measure volume — over generality.
+package geom3
+
+import "math"
+
+// Eps is the absolute tolerance of the 3D predicates, for domain-scale
+// (≤1e4) coordinates.
+const Eps = 1e-6
+
+// Vec3 is a point/vector in 3-space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 is a shorthand constructor.
+func V3(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a scaled by s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Dot returns a·b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns a × b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns |a|.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Dist returns the Euclidean distance between a and b.
+func (a Vec3) Dist(b Vec3) float64 { return a.Sub(b).Norm() }
+
+// Dist2 returns the squared distance between a and b.
+func (a Vec3) Dist2(b Vec3) float64 {
+	d := a.Sub(b)
+	return d.Dot(d)
+}
+
+// Eq reports coordinatewise equality within Eps.
+func (a Vec3) Eq(b Vec3) bool {
+	return math.Abs(a.X-b.X) <= Eps && math.Abs(a.Y-b.Y) <= Eps && math.Abs(a.Z-b.Z) <= Eps
+}
+
+// Box3 is an axis-aligned box.
+type Box3 struct {
+	Min, Max Vec3
+}
+
+// NewBox3 builds the box spanning two corners given in any order.
+func NewBox3(a, b Vec3) Box3 {
+	return Box3{
+		Min: Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)},
+		Max: Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)},
+	}
+}
+
+// EmptyBox3 is the identity for Union.
+func EmptyBox3() Box3 {
+	inf := math.Inf(1)
+	return Box3{Min: Vec3{inf, inf, inf}, Max: Vec3{-inf, -inf, -inf}}
+}
+
+// IsEmpty reports whether the box is the empty box.
+func (b Box3) IsEmpty() bool { return b.Min.X > b.Max.X }
+
+// Contains reports whether v lies in the closed box.
+func (b Box3) Contains(v Vec3) bool {
+	return v.X >= b.Min.X-Eps && v.X <= b.Max.X+Eps &&
+		v.Y >= b.Min.Y-Eps && v.Y <= b.Max.Y+Eps &&
+		v.Z >= b.Min.Z-Eps && v.Z <= b.Max.Z+Eps
+}
+
+// Union returns the smallest box covering both.
+func (b Box3) Union(o Box3) Box3 {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return Box3{
+		Min: Vec3{math.Min(b.Min.X, o.Min.X), math.Min(b.Min.Y, o.Min.Y), math.Min(b.Min.Z, o.Min.Z)},
+		Max: Vec3{math.Max(b.Max.X, o.Max.X), math.Max(b.Max.Y, o.Max.Y), math.Max(b.Max.Z, o.Max.Z)},
+	}
+}
+
+// UnionPoint grows the box to cover v.
+func (b Box3) UnionPoint(v Vec3) Box3 {
+	return b.Union(Box3{Min: v, Max: v})
+}
+
+// Intersects reports whether two closed boxes share a point.
+func (b Box3) Intersects(o Box3) bool {
+	if b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return b.Min.X <= o.Max.X+Eps && o.Min.X <= b.Max.X+Eps &&
+		b.Min.Y <= o.Max.Y+Eps && o.Min.Y <= b.Max.Y+Eps &&
+		b.Min.Z <= o.Max.Z+Eps && o.Min.Z <= b.Max.Z+Eps
+}
+
+// Center returns the center of the box.
+func (b Box3) Center() Vec3 {
+	return Vec3{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2, (b.Min.Z + b.Max.Z) / 2}
+}
+
+// Volume returns the box volume.
+func (b Box3) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	return (b.Max.X - b.Min.X) * (b.Max.Y - b.Min.Y) * (b.Max.Z - b.Min.Z)
+}
+
+// MinDist2 returns the squared distance from v to the box (0 inside) —
+// the 3D mindist of Lemma 2.
+func (b Box3) MinDist2(v Vec3) float64 {
+	var dx, dy, dz float64
+	if v.X < b.Min.X {
+		dx = b.Min.X - v.X
+	} else if v.X > b.Max.X {
+		dx = v.X - b.Max.X
+	}
+	if v.Y < b.Min.Y {
+		dy = b.Min.Y - v.Y
+	} else if v.Y > b.Max.Y {
+		dy = v.Y - b.Max.Y
+	}
+	if v.Z < b.Min.Z {
+		dz = b.Min.Z - v.Z
+	} else if v.Z > b.Max.Z {
+		dz = v.Z - b.Max.Z
+	}
+	return dx*dx + dy*dy + dz*dz
+}
+
+// Face is one axis-aligned face of a box: the rectangle where axis Axis is
+// pinned to Value, spanning the box's extent in the other two axes. It is
+// the 3D analogue of the rectangle side L in the Φ(L, p) pruning test.
+type Face struct {
+	Box   Box3
+	Axis  int // 0 = x, 1 = y, 2 = z
+	Value float64
+}
+
+// Faces returns the six faces of the box.
+func (b Box3) Faces() [6]Face {
+	return [6]Face{
+		{b, 0, b.Min.X}, {b, 0, b.Max.X},
+		{b, 1, b.Min.Y}, {b, 1, b.Max.Y},
+		{b, 2, b.Min.Z}, {b, 2, b.Max.Z},
+	}
+}
+
+// Dist2Point returns the squared distance from t to the face rectangle:
+// clamp the two free axes to the box extent, pin the third.
+func (f Face) Dist2Point(t Vec3) float64 {
+	c := [3]float64{t.X, t.Y, t.Z}
+	lo := [3]float64{f.Box.Min.X, f.Box.Min.Y, f.Box.Min.Z}
+	hi := [3]float64{f.Box.Max.X, f.Box.Max.Y, f.Box.Max.Z}
+	var sum float64
+	for ax := 0; ax < 3; ax++ {
+		v := c[ax]
+		var w float64
+		if ax == f.Axis {
+			w = v - f.Value
+		} else if v < lo[ax] {
+			w = lo[ax] - v
+		} else if v > hi[ax] {
+			w = v - hi[ax]
+		}
+		sum += w * w
+	}
+	return sum
+}
+
+// InPhi reports whether t ∈ Φ(F, p) = {b : dist(p,b) ≤ mindist(F,b)} — the
+// face generalization of Eq. 3.
+func (f Face) InPhi(p, t Vec3) bool {
+	return p.Dist2(t) <= f.Dist2Point(t)+Eps
+}

@@ -1,0 +1,219 @@
+package geom3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVec3Ops(t *testing.T) {
+	a, b := V3(1, 2, 3), V3(4, 5, 6)
+	if a.Add(b) != V3(5, 7, 9) || a.Sub(b) != V3(-3, -3, -3) {
+		t.Fatal("add/sub broken")
+	}
+	if a.Dot(b) != 32 {
+		t.Fatalf("dot = %v", a.Dot(b))
+	}
+	if a.Cross(b) != V3(-3, 6, -3) {
+		t.Fatalf("cross = %v", a.Cross(b))
+	}
+	if d := V3(0, 0, 0).Dist(V3(2, 3, 6)); math.Abs(d-7) > 1e-12 {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestBox3Basics(t *testing.T) {
+	b := NewBox3(V3(4, 5, 6), V3(1, 2, 3))
+	if b.Min != V3(1, 2, 3) || b.Max != V3(4, 5, 6) {
+		t.Fatalf("normalization: %+v", b)
+	}
+	if b.Volume() != 27 {
+		t.Fatalf("volume = %v", b.Volume())
+	}
+	if !b.Contains(V3(2, 3, 4)) || b.Contains(V3(0, 0, 0)) {
+		t.Fatal("contains broken")
+	}
+	if b.Center() != V3(2.5, 3.5, 4.5) {
+		t.Fatalf("center = %v", b.Center())
+	}
+	e := EmptyBox3()
+	if !e.IsEmpty() || e.Volume() != 0 {
+		t.Fatal("empty box broken")
+	}
+	if got := e.Union(b); got != b {
+		t.Fatal("union with empty should be identity")
+	}
+}
+
+func TestBox3MinDist2(t *testing.T) {
+	b := NewBox3(V3(0, 0, 0), V3(2, 2, 2))
+	cases := []struct {
+		v    Vec3
+		want float64
+	}{
+		{V3(1, 1, 1), 0},
+		{V3(3, 1, 1), 1},
+		{V3(3, 3, 1), 2},
+		{V3(3, 3, 3), 3},
+		{V3(-1, -1, -1), 3},
+	}
+	for _, c := range cases {
+		if got := b.MinDist2(c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MinDist2(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFaceDistAndPhi(t *testing.T) {
+	b := NewBox3(V3(0, 0, 0), V3(2, 2, 2))
+	faces := b.Faces()
+	// The x=0 face: distance from (-3,1,1) is 3; from (1,1,1) is 1.
+	f := faces[0]
+	if got := f.Dist2Point(V3(-3, 1, 1)); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("face dist = %v", got)
+	}
+	if got := f.Dist2Point(V3(1, 1, 1)); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("interior face dist = %v", got)
+	}
+	// Corner clamping: from (-1,3,3), dist² to x=0 face = 1+1+1.
+	if got := f.Dist2Point(V3(-1, 3, 3)); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("clamped face dist = %v", got)
+	}
+	// Φ semantics: p right next to t, face far away.
+	if !f.InPhi(V3(9, 9, 9), V3(9.5, 9, 9)) {
+		t.Error("nearby p should dominate a distant face")
+	}
+	if f.InPhi(V3(9, 9, 9), V3(0, 1, 1)) {
+		t.Error("point on the face is closer to the face than to distant p")
+	}
+}
+
+func TestBisector3Semantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		pi := V3(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		pj := V3(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		x := V3(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		if pi.Eq(pj) {
+			continue
+		}
+		h := Bisector3(pi, pj)
+		closer := x.Dist2(pi) <= x.Dist2(pj)
+		if h.Contains(x) != closer && math.Abs(x.Dist(pi)-x.Dist(pj)) > 1e-6 {
+			t.Fatalf("bisector sidedness wrong: pi=%v pj=%v x=%v", pi, pj, x)
+		}
+	}
+}
+
+func TestBoxPolyhedron(t *testing.T) {
+	b := NewBox3(V3(0, 0, 0), V3(10, 10, 10))
+	p := BoxPolyhedron(b)
+	vs := p.Vertices()
+	if len(vs) != 8 {
+		t.Fatalf("box should have 8 vertices, got %d", len(vs))
+	}
+	if math.Abs(p.Volume()-1000) > 1e-6 {
+		t.Fatalf("volume = %v, want 1000", p.Volume())
+	}
+	if !p.Contains(V3(5, 5, 5)) || p.Contains(V3(11, 5, 5)) {
+		t.Fatal("containment broken")
+	}
+	if p.IsEmpty() {
+		t.Fatal("box is not empty")
+	}
+	if c := p.Centroid(); !c.Eq(V3(5, 5, 5)) {
+		t.Fatalf("centroid = %v", c)
+	}
+}
+
+func TestPolyhedronClipHalf(t *testing.T) {
+	b := NewBox3(V3(0, 0, 0), V3(10, 10, 10))
+	p := BoxPolyhedron(b)
+	// Clip by the bisector of (2,5,5) and (8,5,5): keep x ≤ 5.
+	p.Clip(Bisector3(V3(2, 5, 5), V3(8, 5, 5)))
+	if math.Abs(p.Volume()-500) > 1e-6 {
+		t.Fatalf("half-box volume = %v, want 500", p.Volume())
+	}
+	if !p.Contains(V3(2, 5, 5)) || p.Contains(V3(8, 5, 5)) {
+		t.Fatal("clip kept the wrong side")
+	}
+	// Clipping by a redundant halfspace changes nothing.
+	before := p.Volume()
+	p.Clip(Halfspace{N: V3(1, 0, 0), C: 100})
+	if math.Abs(p.Volume()-before) > 1e-9 {
+		t.Fatal("redundant clip changed the polyhedron")
+	}
+	// Clip to empty.
+	p.Clip(Halfspace{N: V3(1, 0, 0), C: -1})
+	if !p.IsEmpty() {
+		t.Fatal("infeasible clip should empty the polyhedron")
+	}
+}
+
+func TestCornerClipTetrahedron(t *testing.T) {
+	// Cutting the corner x+y+z ≤ 3 off the unit-10 box leaves volume
+	// 1000 − 4.5 (tetrahedron with legs 3: 3³/6 = 4.5 removed ... kept
+	// region is the box minus that tetrahedron).
+	p := BoxPolyhedron(NewBox3(V3(0, 0, 0), V3(10, 10, 10)))
+	p.Clip(Halfspace{N: V3(-1, -1, -1), C: -3}) // keep x+y+z ≥ 3
+	want := 1000 - 27.0/6
+	if math.Abs(p.Volume()-want) > 1e-6 {
+		t.Fatalf("volume = %v, want %v", p.Volume(), want)
+	}
+}
+
+func TestIntersectionVolume(t *testing.T) {
+	a := BoxPolyhedron(NewBox3(V3(0, 0, 0), V3(4, 4, 4)))
+	b := BoxPolyhedron(NewBox3(V3(2, 2, 2), V3(6, 6, 6)))
+	if got := IntersectionVolume(a, b); math.Abs(got-8) > 1e-6 {
+		t.Fatalf("intersection volume = %v, want 8", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("overlapping boxes must intersect")
+	}
+	c := BoxPolyhedron(NewBox3(V3(10, 10, 10), V3(12, 12, 12)))
+	if a.Intersects(c) {
+		t.Fatal("disjoint boxes must not intersect")
+	}
+	if got := IntersectionVolume(a, c); got != 0 {
+		t.Fatalf("disjoint volume = %v", got)
+	}
+	// Touching boxes intersect with zero volume.
+	d := BoxPolyhedron(NewBox3(V3(4, 0, 0), V3(8, 4, 4)))
+	if got := IntersectionVolume(a, d); got > 1e-9 {
+		t.Fatalf("touching volume = %v", got)
+	}
+}
+
+func TestVoronoiCellOf3DGridCenter(t *testing.T) {
+	// 3×3×3 grid: the center point's cell is the middle cube.
+	domain := NewBox3(V3(0, 0, 0), V3(9000, 9000, 9000))
+	cell := BoxPolyhedron(domain)
+	center := V3(4500, 4500, 4500)
+	for _, x := range []float64{1500, 4500, 7500} {
+		for _, y := range []float64{1500, 4500, 7500} {
+			for _, z := range []float64{1500, 4500, 7500} {
+				other := V3(x, y, z)
+				if other.Eq(center) {
+					continue
+				}
+				cell.Clip(Bisector3(center, other))
+			}
+		}
+	}
+	if math.Abs(cell.Volume()-3000*3000*3000) > 1 {
+		t.Fatalf("center cell volume = %v, want 2.7e10", cell.Volume())
+	}
+	if !cell.Contains(center) {
+		t.Fatal("cell must contain its site")
+	}
+}
+
+func TestCloneIndependence3(t *testing.T) {
+	a := BoxPolyhedron(NewBox3(V3(0, 0, 0), V3(5, 5, 5)))
+	b := a.Clone()
+	b.Clip(Halfspace{N: V3(1, 0, 0), C: 2})
+	if math.Abs(a.Volume()-125) > 1e-9 {
+		t.Fatal("clipping the clone mutated the original")
+	}
+}

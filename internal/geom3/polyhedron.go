@@ -1,0 +1,319 @@
+package geom3
+
+import (
+	"math"
+	"sort"
+)
+
+// Halfspace is the closed region {x : N·x ≤ C}.
+type Halfspace struct {
+	N Vec3
+	C float64
+}
+
+// Side returns N·x − C: ≤ 0 inside.
+func (h Halfspace) Side(x Vec3) float64 { return h.N.Dot(x) - h.C }
+
+// Contains reports membership with a tolerance relative to |N|.
+func (h Halfspace) Contains(x Vec3) bool {
+	return h.Side(x) <= Eps*h.scale()
+}
+
+func (h Halfspace) scale() float64 {
+	s := h.N.Norm()
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Bisector3 returns the halfspace of locations at least as close to pi as
+// to pj (the 3D ⊥pi(pi, pj) of Eq. 1).
+func Bisector3(pi, pj Vec3) Halfspace {
+	return Halfspace{
+		N: pj.Sub(pi).Scale(2),
+		C: pj.Dot(pj) - pi.Dot(pi),
+	}
+}
+
+// Polyhedron is a bounded convex polyhedron in H-representation. Its
+// halfspace list always includes the six faces of a domain box, so vertex
+// enumeration always terminates with a bounded (possibly empty) result.
+// The vertex set is cached and recomputed lazily after clips.
+type Polyhedron struct {
+	H     []Halfspace
+	verts []Vec3
+	dirty bool
+}
+
+// BoxPolyhedron returns the polyhedron of the box itself.
+func BoxPolyhedron(b Box3) *Polyhedron {
+	p := &Polyhedron{
+		H: []Halfspace{
+			{N: Vec3{-1, 0, 0}, C: -b.Min.X},
+			{N: Vec3{1, 0, 0}, C: b.Max.X},
+			{N: Vec3{0, -1, 0}, C: -b.Min.Y},
+			{N: Vec3{0, 1, 0}, C: b.Max.Y},
+			{N: Vec3{0, 0, -1}, C: -b.Min.Z},
+			{N: Vec3{0, 0, 1}, C: b.Max.Z},
+		},
+		dirty: true,
+	}
+	return p
+}
+
+// Clone deep-copies the polyhedron.
+func (p *Polyhedron) Clone() *Polyhedron {
+	return &Polyhedron{
+		H:     append([]Halfspace(nil), p.H...),
+		verts: append([]Vec3(nil), p.verts...),
+		dirty: p.dirty,
+	}
+}
+
+// Clip intersects the polyhedron with h in place and drops halfspaces
+// made redundant (those supporting no vertex), keeping |H| proportional
+// to the face count.
+func (p *Polyhedron) Clip(h Halfspace) {
+	// Skip if every current vertex already satisfies h strictly: h is
+	// redundant (this is also the Lemma 1 fast path for bisectors).
+	if !p.dirty {
+		redundant := true
+		for _, v := range p.Vertices() {
+			if h.Side(v) > Eps*h.scale() {
+				redundant = false
+				break
+			}
+		}
+		if redundant {
+			return
+		}
+	}
+	p.H = append(p.H, h)
+	p.dirty = true
+	p.reduce()
+}
+
+// Vertices returns the vertex set (triple-plane intersections feasible
+// for every halfspace), recomputing it if the polyhedron changed.
+func (p *Polyhedron) Vertices() []Vec3 {
+	if p.dirty {
+		p.verts = enumerateVertices(p.H)
+		p.dirty = false
+	}
+	return p.verts
+}
+
+// IsEmpty reports whether the polyhedron has no feasible vertex. For
+// bounded systems (ours always are, thanks to the domain box) emptiness
+// of the vertex set is emptiness of the polyhedron.
+func (p *Polyhedron) IsEmpty() bool { return len(p.Vertices()) == 0 }
+
+// Contains reports whether x satisfies all halfspaces.
+func (p *Polyhedron) Contains(x Vec3) bool {
+	for _, h := range p.H {
+		if !h.Contains(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the AABB of the vertex set.
+func (p *Polyhedron) Bounds() Box3 {
+	b := EmptyBox3()
+	for _, v := range p.Vertices() {
+		b = b.UnionPoint(v)
+	}
+	return b
+}
+
+// Centroid returns the mean of the vertices (adequate as a search anchor;
+// not the volumetric centroid).
+func (p *Polyhedron) Centroid() Vec3 {
+	vs := p.Vertices()
+	if len(vs) == 0 {
+		return Vec3{}
+	}
+	var s Vec3
+	for _, v := range vs {
+		s = s.Add(v)
+	}
+	return s.Scale(1 / float64(len(vs)))
+}
+
+// IntersectionVolume returns the volume of p ∩ q, computed by combining
+// the two halfspace systems and measuring the result. The 3D CIJ join
+// predicate is IntersectionVolume > some epsilon.
+func IntersectionVolume(p, q *Polyhedron) float64 {
+	comb := &Polyhedron{H: append(append([]Halfspace(nil), p.H...), q.H...), dirty: true}
+	comb.reduce()
+	return comb.Volume()
+}
+
+// Intersects reports whether the two polyhedra share a point.
+func (p *Polyhedron) Intersects(q *Polyhedron) bool {
+	if !p.Bounds().Intersects(q.Bounds()) {
+		return false
+	}
+	comb := &Polyhedron{H: append(append([]Halfspace(nil), p.H...), q.H...), dirty: true}
+	return !comb.IsEmpty()
+}
+
+// Volume computes the volume by summing signed tetrahedra over the
+// triangulated faces: vertices on each supporting plane are ordered
+// around the face normal and coned to the polyhedron centroid.
+func (p *Polyhedron) Volume() float64 {
+	vs := p.Vertices()
+	if len(vs) < 4 {
+		return 0
+	}
+	c := p.Centroid()
+	var total float64
+	var seen []Halfspace
+	for _, h := range p.H {
+		// Combined systems (IntersectionVolume) can contain the same
+		// supporting plane twice; summing its face twice would double the
+		// volume contribution.
+		dup := false
+		for _, s := range seen {
+			if samePlane(h, s) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen = append(seen, h)
+		face := faceVertices(h, vs)
+		if len(face) < 3 {
+			continue
+		}
+		orderAroundNormal(face, h.N)
+		for i := 1; i+1 < len(face); i++ {
+			// Tetrahedron (c, face[0], face[i], face[i+1]).
+			a := face[0].Sub(c)
+			b := face[i].Sub(c)
+			d := face[i+1].Sub(c)
+			total += math.Abs(a.Dot(b.Cross(d))) / 6
+		}
+	}
+	return total
+}
+
+// samePlane reports whether two halfspaces have the same (normalized)
+// boundary plane and orientation.
+func samePlane(a, b Halfspace) bool {
+	sa, sb := a.scale(), b.scale()
+	na := a.N.Scale(1 / sa)
+	nb := b.N.Scale(1 / sb)
+	return na.Eq(nb) && math.Abs(a.C/sa-b.C/sb) <= Eps
+}
+
+// faceVertices returns the vertices lying on h's plane.
+func faceVertices(h Halfspace, vs []Vec3) []Vec3 {
+	tol := 1e-5 * h.scale()
+	var out []Vec3
+	for _, v := range vs {
+		if math.Abs(h.Side(v)) <= tol {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// orderAroundNormal sorts coplanar points angularly around their mean,
+// in the plane orthogonal to n.
+func orderAroundNormal(pts []Vec3, n Vec3) {
+	var c Vec3
+	for _, v := range pts {
+		c = c.Add(v)
+	}
+	c = c.Scale(1 / float64(len(pts)))
+	// Build an orthonormal basis (u, w) of the plane.
+	u := n.Cross(Vec3{1, 0, 0})
+	if u.Norm() < 1e-9 {
+		u = n.Cross(Vec3{0, 1, 0})
+	}
+	u = u.Scale(1 / u.Norm())
+	w := n.Cross(u)
+	sort.Slice(pts, func(i, j int) bool {
+		di, dj := pts[i].Sub(c), pts[j].Sub(c)
+		return math.Atan2(di.Dot(w), di.Dot(u)) < math.Atan2(dj.Dot(w), dj.Dot(u))
+	})
+}
+
+// reduce drops halfspaces that support no vertex of the current feasible
+// set (keeping the six box faces is unnecessary once interior constraints
+// dominate, so they may be dropped too).
+func (p *Polyhedron) reduce() {
+	vs := p.Vertices()
+	if len(vs) == 0 {
+		return
+	}
+	kept := p.H[:0]
+	for _, h := range p.H {
+		if len(faceVertices(h, vs)) > 0 {
+			kept = append(kept, h)
+		}
+	}
+	p.H = kept
+	// Vertex set unchanged by dropping redundant constraints.
+}
+
+// enumerateVertices solves every triple of planes and keeps the feasible,
+// deduplicated solutions.
+func enumerateVertices(hs []Halfspace) []Vec3 {
+	var out []Vec3
+	n := len(hs)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				v, ok := solve3(hs[i], hs[j], hs[k])
+				if !ok {
+					continue
+				}
+				feasible := true
+				for _, h := range hs {
+					if h.Side(v) > 1e-6*h.scale() {
+						feasible = false
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				dup := false
+				for _, u := range out {
+					if u.Eq(v) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// solve3 solves N1·x=C1, N2·x=C2, N3·x=C3 by Cramer's rule.
+func solve3(a, b, c Halfspace) (Vec3, bool) {
+	det := a.N.Dot(b.N.Cross(c.N))
+	scale := a.N.Norm() * b.N.Norm() * c.N.Norm()
+	if scale < 1 {
+		scale = 1
+	}
+	if math.Abs(det) < 1e-9*scale {
+		return Vec3{}, false
+	}
+	x := Vec3{a.C, b.C, c.C}
+	// Columns of the inverse via cross products.
+	inv := b.N.Cross(c.N).Scale(x.X).
+		Add(c.N.Cross(a.N).Scale(x.Y)).
+		Add(a.N.Cross(b.N).Scale(x.Z))
+	return inv.Scale(1 / det), true
+}

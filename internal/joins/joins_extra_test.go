@@ -1,0 +1,72 @@
+package joins
+
+import (
+	"math/rand"
+	"testing"
+
+	"cij/internal/geom"
+)
+
+func TestDistanceJoinZeroEpsilon(t *testing.T) {
+	// ε = 0 joins only coincident points.
+	p := []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(3, 3)}
+	q := []geom.Point{geom.Pt(2, 2), geom.Pt(4, 4)}
+	rp, rq := build(t, p), build(t, q)
+	var got []PointPair
+	DistanceJoin(rp, rq, 0, func(pr PointPair) { got = append(got, pr) })
+	if len(got) != 1 || got[0].P != 1 || got[0].Q != 0 {
+		t.Fatalf("eps=0 join = %+v", got)
+	}
+}
+
+func TestDistanceJoinSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(310))
+	p := randPoints(rng, 200)
+	q := randPoints(rng, 150)
+	rp, rq := build(t, p), build(t, q)
+	const eps = 400
+	ab := map[[2]int64]bool{}
+	DistanceJoin(rp, rq, eps, func(pr PointPair) { ab[[2]int64{pr.P, pr.Q}] = true })
+	ba := map[[2]int64]bool{}
+	DistanceJoin(rq, rp, eps, func(pr PointPair) { ba[[2]int64{pr.Q, pr.P}] = true })
+	if len(ab) != len(ba) {
+		t.Fatalf("asymmetric: %d vs %d", len(ab), len(ba))
+	}
+	for k := range ab {
+		if !ba[k] {
+			t.Fatalf("pair %v missing in reversed join", k)
+		}
+	}
+}
+
+func TestClosestPairsKLargerThanCross(t *testing.T) {
+	p := []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2)}
+	q := []geom.Point{geom.Pt(3, 3)}
+	rp, rq := build(t, p), build(t, q)
+	got := ClosestPairs(rp, rq, 100)
+	if len(got) != 2 {
+		t.Fatalf("k beyond cross-product size: %d pairs, want 2", len(got))
+	}
+}
+
+func TestClosestPairsDistancesNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	p := randPoints(rng, 100)
+	rp, rq := build(t, p), build(t, p) // identical sets: min distance 0
+	got := ClosestPairs(rp, rq, 5)
+	if got[0].Dist != 0 {
+		t.Fatalf("identical sets should have a zero-distance pair, got %v", got[0].Dist)
+	}
+}
+
+func TestAllNNSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(312))
+	p := randPoints(rng, 120)
+	rp := build(t, p)
+	got := AllNN(rp, rp)
+	for i, pr := range got {
+		if pr.Dist != 0 || pr.Q != int64(i) {
+			t.Fatalf("self AllNN of %d: %+v", i, pr)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package joins
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cij/internal/core"
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+)
+
+var testDomain = geom.NewRect(0, 0, 10000, 10000)
+
+func build(t testing.TB, pts []geom.Point) *rtree.Tree {
+	t.Helper()
+	buf := storage.NewBuffer(storage.NewDisk(storage.DefaultPageSize), 1<<20)
+	return rtree.BulkLoadPoints(buf, pts, testDomain, 1)
+}
+
+func randPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	return pts
+}
+
+func TestDistanceJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	p := randPoints(rng, 500)
+	q := randPoints(rng, 400)
+	rp, rq := build(t, p), build(t, q)
+	for _, eps := range []float64{50, 200, 800} {
+		got := map[[2]int64]bool{}
+		DistanceJoin(rp, rq, eps, func(pr PointPair) {
+			got[[2]int64{pr.P, pr.Q}] = true
+		})
+		want := 0
+		for i, pp := range p {
+			for j, qq := range q {
+				if pp.Dist(qq) <= eps {
+					want++
+					if !got[[2]int64{int64(i), int64(j)}] {
+						t.Fatalf("eps=%v: missing pair (%d,%d)", eps, i, j)
+					}
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("eps=%v: %d pairs, want %d", eps, len(got), want)
+		}
+	}
+}
+
+func TestDistanceJoinEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	rp := build(t, randPoints(rng, 50))
+	empty := rtree.New(storage.NewBuffer(storage.NewDisk(storage.DefaultPageSize), 8), rtree.KindPoints)
+	called := false
+	DistanceJoin(rp, empty, 1000, func(PointPair) { called = true })
+	if called {
+		t.Fatal("join with empty tree should emit nothing")
+	}
+}
+
+func TestClosestPairsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	p := randPoints(rng, 300)
+	q := randPoints(rng, 250)
+	rp, rq := build(t, p), build(t, q)
+	for _, k := range []int{1, 5, 25} {
+		got := ClosestPairs(rp, rq, k)
+		if len(got) != k {
+			t.Fatalf("k=%d: returned %d pairs", k, len(got))
+		}
+		// Distances must be ascending.
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist-1e-12 {
+				t.Fatalf("k=%d: results not sorted at %d", k, i)
+			}
+		}
+		// Brute-force kth distance.
+		var all []float64
+		for _, pp := range p {
+			for _, qq := range q {
+				all = append(all, pp.Dist(qq))
+			}
+		}
+		sort.Float64s(all)
+		for i := 0; i < k; i++ {
+			if diff := got[i].Dist - all[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("k=%d: dist[%d] = %v, want %v", k, i, got[i].Dist, all[i])
+			}
+		}
+	}
+}
+
+func TestClosestPairsDegenerate(t *testing.T) {
+	if got := ClosestPairs(build(t, randPoints(rand.New(rand.NewSource(1)), 10)), build(t, nil), 5); got != nil {
+		t.Fatal("empty side should yield nil")
+	}
+	rp := build(t, []geom.Point{geom.Pt(1, 1)})
+	rq := build(t, []geom.Point{geom.Pt(2, 2)})
+	got := ClosestPairs(rp, rq, 10)
+	if len(got) != 1 {
+		t.Fatalf("1×1 inputs have exactly 1 pair, got %d", len(got))
+	}
+}
+
+func TestAllNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	p := randPoints(rng, 200)
+	q := randPoints(rng, 150)
+	rp, rq := build(t, p), build(t, q)
+	got := AllNN(rp, rq)
+	if len(got) != len(p) {
+		t.Fatalf("AllNN returned %d entries", len(got))
+	}
+	for i, pp := range p {
+		bestD := -1.0
+		for _, qq := range q {
+			d := pp.Dist(qq)
+			if bestD < 0 || d < bestD {
+				bestD = d
+			}
+		}
+		if diff := got[i].Dist - bestD; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("point %d: NN dist %v, want %v", i, got[i].Dist, bestD)
+		}
+	}
+}
+
+func TestEpsilonDoesNotReproduceCIJ(t *testing.T) {
+	// The paper's motivation: no ε recovers the CIJ semantics, because
+	// CIJ membership is not monotone in distance. On a random instance,
+	// take the largest distance D among CIJ pairs: the smallest ε-join
+	// containing all CIJ pairs (ε = D) must contain strictly more pairs.
+	rng := rand.New(rand.NewSource(304))
+	p := randPoints(rng, 40)
+	q := randPoints(rng, 40)
+	cij := core.BruteCIJ(p, q, testDomain)
+	if len(cij) == 0 {
+		t.Fatal("setup: empty CIJ")
+	}
+	dmax := 0.0
+	for _, pr := range cij {
+		if d := p[pr.P].Dist(q[pr.Q]); d > dmax {
+			dmax = d
+		}
+	}
+	rp, rq := build(t, p), build(t, q)
+	count := 0
+	DistanceJoin(rp, rq, dmax, func(PointPair) { count++ })
+	if count <= len(cij) {
+		t.Fatalf("ε=D join has %d pairs vs CIJ %d: expected strictly more (no ε reproduces CIJ)",
+			count, len(cij))
+	}
+}

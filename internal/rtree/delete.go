@@ -1,0 +1,125 @@
+package rtree
+
+import (
+	"cij/internal/geom"
+	"cij/internal/storage"
+)
+
+// DeletePoint removes the point with the given id at location p from a
+// point tree, using Guttman's Delete with CondenseTree: leaves that
+// underflow are dissolved and their remaining entries reinserted. Returns
+// false if no such object exists.
+//
+// The paper's premise for indexing the INPUTS rather than the Voronoi
+// diagrams is that "spatial access methods can be updated much more
+// efficiently compared to Voronoi diagrams" (footnote 1): a point
+// insertion or deletion touches O(height) pages here, while maintaining a
+// materialized Vor(P) would recompute every neighboring cell.
+func (t *Tree) DeletePoint(id int64, p geom.Point) bool {
+	if t.kind != KindPoints {
+		panic("rtree: DeletePoint on a polygon tree")
+	}
+	if t.root == storage.InvalidPage {
+		return false
+	}
+	var orphans []Entry
+	removed := t.deleteAt(t.root, t.height, id, geom.RectFromPoint(p), &orphans)
+	if !removed {
+		return false
+	}
+	t.size--
+
+	// Shrink the root while it is an internal node with a single child; an
+	// internal root emptied by condensation resets the tree (its contents
+	// are all in orphans).
+	for t.height > 1 {
+		root := t.readNodeQuiet(t.root)
+		if root.Leaf {
+			break
+		}
+		if len(root.Entries) == 0 {
+			t.root = storage.InvalidPage
+			t.height = 0
+			break
+		}
+		if len(root.Entries) != 1 {
+			break
+		}
+		t.root = root.Entries[0].Child
+		t.height--
+	}
+	if t.size == 0 {
+		t.root = storage.InvalidPage
+		t.height = 0
+	}
+
+	// Reinsert entries orphaned by condensed nodes.
+	for _, e := range orphans {
+		if t.root == storage.InvalidPage {
+			t.root = t.allocNode(&Node{Leaf: true, Entries: []Entry{e}})
+			t.height = 1
+			continue
+		}
+		if split := t.insertAt(t.root, e, t.height); split != nil {
+			oldRoot := t.readNodeQuiet(t.root)
+			t.root = t.allocNode(&Node{Leaf: false, Entries: []Entry{
+				{MBR: oldRoot.MBR(), Child: t.root},
+				*split,
+			}})
+			t.height++
+		}
+	}
+	return true
+}
+
+// deleteAt removes the object from the subtree rooted at pid; underfull
+// children are dissolved into orphans. Returns whether the object was
+// found.
+func (t *Tree) deleteAt(pid storage.PageID, level int, id int64, mbr geom.Rect, orphans *[]Entry) bool {
+	n := t.readNodeQuiet(pid)
+	if level == 1 {
+		for i := range n.Entries {
+			if n.Entries[i].ID == id {
+				n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+				t.writeNode(pid, n)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if !e.MBR.Intersects(mbr) {
+			continue
+		}
+		if !t.deleteAt(e.Child, level-1, id, mbr, orphans) {
+			continue
+		}
+		child := t.readNodeQuiet(e.Child)
+		if len(child.Entries) < t.minFill {
+			// Condense: dissolve the child, orphan its entries (points
+			// from leaves re-enter at the leaf level; deeper orphaning is
+			// avoided by reinserting leaf entries only — internal
+			// children are dissolved recursively).
+			t.collectLeafEntries(e.Child, level-1, orphans)
+			n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+		} else {
+			e.MBR = child.MBR()
+		}
+		t.writeNode(pid, n)
+		return true
+	}
+	return false
+}
+
+// collectLeafEntries gathers every object entry under pid.
+func (t *Tree) collectLeafEntries(pid storage.PageID, level int, out *[]Entry) {
+	n := t.readNodeQuiet(pid)
+	if level == 1 {
+		*out = append(*out, n.Entries...)
+		return
+	}
+	for i := range n.Entries {
+		t.collectLeafEntries(n.Entries[i].Child, level-1, out)
+	}
+}

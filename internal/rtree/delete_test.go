@@ -1,0 +1,124 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"cij/internal/geom"
+)
+
+func TestDeleteMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	pts := randPoints(rng, 1000)
+	tr := BulkLoadPoints(newBuf(t, 64), pts, testDomain, 1)
+
+	alive := make(map[int64]bool, len(pts))
+	for i := range pts {
+		alive[int64(i)] = true
+	}
+	// Delete 600 random points, re-validating queries periodically.
+	perm := rng.Perm(len(pts))
+	for k, idx := range perm[:600] {
+		id := int64(idx)
+		if !tr.DeletePoint(id, pts[idx]) {
+			t.Fatalf("delete %d failed", id)
+		}
+		delete(alive, id)
+		if k%100 == 99 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", k+1, err)
+			}
+			q := geom.NewRect(rng.Float64()*5e3, rng.Float64()*5e3,
+				rng.Float64()*1e4, rng.Float64()*1e4)
+			got := map[int64]bool{}
+			for _, e := range tr.RangeSearch(q) {
+				got[e.ID] = true
+			}
+			for i, p := range pts {
+				want := alive[int64(i)] && q.Contains(p)
+				if got[int64(i)] != want {
+					t.Fatalf("after %d deletes: object %d presence %v, want %v",
+						k+1, i, got[int64(i)], want)
+				}
+			}
+		}
+	}
+	if tr.Size() != 400 {
+		t.Fatalf("size = %d, want 400", tr.Size())
+	}
+}
+
+func TestDeleteNonexistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pts := randPoints(rng, 100)
+	tr := BulkLoadPoints(newBuf(t, 64), pts, testDomain, 1)
+	if tr.DeletePoint(9999, geom.Pt(1, 1)) {
+		t.Fatal("deleting a nonexistent id should fail")
+	}
+	if tr.Size() != 100 {
+		t.Fatal("failed delete must not change size")
+	}
+	empty := New(newBuf(t, 8), KindPoints)
+	if empty.DeletePoint(0, geom.Pt(0, 0)) {
+		t.Fatal("delete from empty tree should fail")
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	pts := randPoints(rng, 300)
+	tr := BulkLoadPoints(newBuf(t, 64), pts, testDomain, 1)
+	for i := range pts {
+		if !tr.DeletePoint(int64(i), pts[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d after deleting everything", tr.Size())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The tree is reusable afterwards.
+	tr.InsertPoint(0, geom.Pt(5, 5))
+	if got := tr.RangeSearch(testDomain); len(got) != 1 {
+		t.Fatalf("reinsert after drain: %d results", len(got))
+	}
+}
+
+func TestDeleteThenReinsertCycle(t *testing.T) {
+	// Churn: repeated delete/insert cycles keep the structure valid —
+	// the "frequently updated database" setting of footnote 1.
+	rng := rand.New(rand.NewSource(73))
+	pts := randPoints(rng, 400)
+	tr := BulkLoadPoints(newBuf(t, 64), pts, testDomain, 1)
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 100; i++ {
+			idx := rng.Intn(len(pts))
+			if tr.DeletePoint(int64(idx), pts[idx]) {
+				pts[idx] = geom.Pt(rng.Float64()*1e4, rng.Float64()*1e4)
+				tr.InsertPoint(int64(idx), pts[idx])
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+	if tr.Size() != len(pts) {
+		t.Fatalf("size drifted: %d", tr.Size())
+	}
+	q := geom.NewRect(2000, 2000, 8000, 8000)
+	if !equalIDs(idsOf(tr.RangeSearch(q)), bruteRange(pts, q)) {
+		t.Fatal("range query wrong after churn")
+	}
+}
+
+func TestDeleteWrongKindPanics(t *testing.T) {
+	tr := New(newBuf(t, 8), KindPolygons)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.DeletePoint(0, geom.Pt(0, 0))
+}

@@ -1,0 +1,115 @@
+package rtree
+
+import (
+	"sort"
+
+	"cij/internal/geom"
+	"cij/internal/storage"
+)
+
+// STJoin computes the intersection join of two R-trees with the
+// Synchronous Traversal algorithm of Brinkhoff, Kriegel & Seeger: both
+// trees are descended concurrently, following only entry pairs whose MBRs
+// intersect. emit is called once for every pair of leaf objects whose MBRs
+// intersect; callers apply exact-geometry refinement (FM-CIJ tests the
+// Voronoi polygons themselves).
+//
+// Two classic optimizations are included: a local plane sweep restricting
+// the entry pairs considered inside a node pair, and recursion in sweep
+// order, which gives the spatial locality the LRU buffer exploits. Trees
+// of different heights are aligned by descending the taller tree first.
+func STJoin(a, b *Tree, emit func(ea, eb Entry)) {
+	if a.root == storage.InvalidPage || b.root == storage.InvalidPage {
+		return
+	}
+	na := a.ReadNode(a.root)
+	nb := b.ReadNode(b.root)
+	joinLoaded(a, b, na, nb, a.height, b.height, emit)
+}
+
+// joinLoaded joins two already-loaded nodes at remaining heights la, lb.
+func joinLoaded(a, b *Tree, na, nb *Node, la, lb int, emit func(ea, eb Entry)) {
+	switch {
+	case na.Leaf && nb.Leaf:
+		sweepPairs(na.Entries, nb.Entries, emit)
+	case !na.Leaf && (nb.Leaf || la > lb):
+		// Descend only a (taller, or b already at leaf level).
+		bound := nb.MBR()
+		for i := range na.Entries {
+			e := &na.Entries[i]
+			if e.MBR.Intersects(bound) {
+				child := a.ReadNode(e.Child)
+				joinLoaded(a, b, child, nb, la-1, lb, emit)
+			}
+		}
+	case !nb.Leaf && (na.Leaf || lb > la):
+		bound := na.MBR()
+		for i := range nb.Entries {
+			e := &nb.Entries[i]
+			if e.MBR.Intersects(bound) {
+				child := b.ReadNode(e.Child)
+				joinLoaded(a, b, na, child, la, lb-1, emit)
+			}
+		}
+	default:
+		// Both internal at the same level: recurse on intersecting entry
+		// pairs found by the plane sweep.
+		var pairs [][2]int
+		sweepIndexPairs(na.Entries, nb.Entries, func(i, j int) {
+			pairs = append(pairs, [2]int{i, j})
+		})
+		for _, pr := range pairs {
+			ca := a.ReadNode(na.Entries[pr[0]].Child)
+			cb := b.ReadNode(nb.Entries[pr[1]].Child)
+			joinLoaded(a, b, ca, cb, la-1, lb-1, emit)
+		}
+	}
+}
+
+// sweepPairs emits all intersecting entry pairs between two entry lists
+// using a plane sweep on the x-axis.
+func sweepPairs(ea, eb []Entry, emit func(a, b Entry)) {
+	sweepIndexPairs(ea, eb, func(i, j int) { emit(ea[i], eb[j]) })
+}
+
+func sweepIndexPairs(ea, eb []Entry, emit func(i, j int)) {
+	ia := sortedByMinX(ea)
+	ib := sortedByMinX(eb)
+	i, j := 0, 0
+	for i < len(ia) && j < len(ib) {
+		if ea[ia[i]].MBR.MinX <= eb[ib[j]].MBR.MinX {
+			r := ea[ia[i]].MBR
+			for k := j; k < len(ib); k++ {
+				s := eb[ib[k]].MBR
+				if s.MinX > r.MaxX+geom.Eps {
+					break
+				}
+				if r.Intersects(s) {
+					emit(ia[i], ib[k])
+				}
+			}
+			i++
+		} else {
+			r := eb[ib[j]].MBR
+			for k := i; k < len(ia); k++ {
+				s := ea[ia[k]].MBR
+				if s.MinX > r.MaxX+geom.Eps {
+					break
+				}
+				if r.Intersects(s) {
+					emit(ia[k], ib[j])
+				}
+			}
+			j++
+		}
+	}
+}
+
+func sortedByMinX(es []Entry) []int {
+	idx := make([]int, len(es))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return es[idx[a]].MBR.MinX < es[idx[b]].MBR.MinX })
+	return idx
+}

@@ -1,0 +1,210 @@
+package rtree
+
+import (
+	"fmt"
+
+	"cij/internal/geom"
+	"cij/internal/storage"
+)
+
+// Tree is a disk-resident R-tree. All node accesses go through the
+// storage.Buffer handed to the constructor, so I/O accounting is exact.
+type Tree struct {
+	buf    *storage.Buffer
+	kind   Kind
+	root   storage.PageID
+	height int // 1 = root is a leaf
+	size   int // number of indexed objects
+
+	maxInternal int
+	maxPoints   int
+	minFill     int
+}
+
+// New creates an empty tree of the given kind on buf. The first Insert
+// creates the root.
+func New(buf *storage.Buffer, kind Kind) *Tree {
+	pageSize := buf.Disk().PageSize()
+	t := &Tree{
+		buf:         buf,
+		kind:        kind,
+		root:        storage.InvalidPage,
+		maxInternal: MaxInternalEntries(pageSize),
+		maxPoints:   MaxPointEntries(pageSize),
+	}
+	if t.maxInternal < 2 || t.maxPoints < 2 {
+		panic(fmt.Sprintf("rtree: page size %d too small", pageSize))
+	}
+	// Guttman's recommended minimum fill is 40% of capacity.
+	t.minFill = t.maxInternal * 2 / 5
+	if t.minFill < 1 {
+		t.minFill = 1
+	}
+	return t
+}
+
+// Buffer returns the buffer the tree performs I/O through.
+func (t *Tree) Buffer() *storage.Buffer { return t.buf }
+
+// Kind returns what the leaves store.
+func (t *Tree) Kind() Kind { return t.kind }
+
+// Root returns the root page id, or storage.InvalidPage for an empty tree.
+func (t *Tree) Root() storage.PageID { return t.root }
+
+// Height returns the number of levels (1 = the root is a leaf; 0 = empty).
+func (t *Tree) Height() int { return t.height }
+
+// Size returns the number of indexed objects.
+func (t *Tree) Size() int { return t.size }
+
+// NumPages returns the number of nodes (= pages) of the tree. It is
+// computed by traversal and used to size LRU buffers and the LB cost.
+func (t *Tree) NumPages() int {
+	if t.root == storage.InvalidPage {
+		return 0
+	}
+	return t.countPages(t.root, t.height)
+}
+
+func (t *Tree) countPages(id storage.PageID, level int) int {
+	if level <= 1 {
+		return 1
+	}
+	n := t.readNodeQuiet(id)
+	total := 1
+	for i := range n.Entries {
+		total += t.countPages(n.Entries[i].Child, level-1)
+	}
+	return total
+}
+
+// ReadNode fetches and decodes the node stored at id, counting one node
+// access in the buffer statistics.
+func (t *Tree) ReadNode(id storage.PageID) *Node {
+	return decodeNode(t.buf.Read(id), t.kind)
+}
+
+// readNodeQuiet reads a node without disturbing the I/O counters; it is
+// used by structural bookkeeping (page counting, invariant checks) that is
+// not part of any measured algorithm.
+func (t *Tree) readNodeQuiet(id storage.PageID) *Node {
+	snapshot := t.buf.Stats()
+	n := t.ReadNode(id)
+	t.buf.RestoreStats(snapshot)
+	return n
+}
+
+// writeNode encodes and stores n at id.
+func (t *Tree) writeNode(id storage.PageID, n *Node) {
+	t.buf.Write(id, encodeNode(n, t.kind, t.buf.Disk().PageSize()))
+}
+
+// allocNode allocates a page and stores n there.
+func (t *Tree) allocNode(n *Node) storage.PageID {
+	id := t.buf.Alloc()
+	t.writeNode(id, n)
+	return id
+}
+
+// maxLeafEntries returns the fixed leaf capacity for point trees. Polygon
+// leaves are byte-packed and have no fixed entry capacity.
+func (t *Tree) maxLeafEntries() int {
+	if t.kind == KindPoints {
+		return t.maxPoints
+	}
+	// For polygon trees used with Insert (tests only), derive a
+	// conservative capacity from the minimum polygon size (triangle).
+	return (t.buf.Disk().PageSize() - headerSize) / (polyEntryFixed + 3*vertexSize)
+}
+
+// leafFits reports whether the entries (plus optionally extra) fit into a
+// leaf page, accounting for variable-size polygon entries.
+func (t *Tree) leafFits(entries []Entry, extra *Entry) bool {
+	if t.kind == KindPoints {
+		n := len(entries)
+		if extra != nil {
+			n++
+		}
+		return n <= t.maxPoints
+	}
+	sz := headerSize
+	for i := range entries {
+		sz += polyEntrySize(entries[i].Poly)
+	}
+	if extra != nil {
+		sz += polyEntrySize(extra.Poly)
+	}
+	return sz <= t.buf.Disk().PageSize()
+}
+
+// CheckInvariants validates the structural invariants of the tree: every
+// internal entry's MBR equals the MBR of its child node, all leaves are at
+// the same depth, and node occupancy respects capacities. It is exported
+// for tests and returns a descriptive error.
+func (t *Tree) CheckInvariants() error {
+	if t.root == storage.InvalidPage {
+		if t.size != 0 {
+			return fmt.Errorf("empty root but size %d", t.size)
+		}
+		return nil
+	}
+	count, err := t.checkNode(t.root, t.height)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("leaf objects %d != size %d", count, t.size)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(id storage.PageID, level int) (int, error) {
+	n := t.readNodeQuiet(id)
+	if level == 1 != n.Leaf {
+		return 0, fmt.Errorf("page %d: leaf flag %v at level %d (height %d)", id, n.Leaf, level, t.height)
+	}
+	if len(n.Entries) == 0 {
+		return 0, fmt.Errorf("page %d: empty node", id)
+	}
+	if n.Leaf {
+		if t.kind == KindPoints && len(n.Entries) > t.maxPoints {
+			return 0, fmt.Errorf("page %d: leaf overflow %d > %d", id, len(n.Entries), t.maxPoints)
+		}
+		if !t.leafFits(n.Entries, nil) {
+			return 0, fmt.Errorf("page %d: leaf byte overflow", id)
+		}
+		return len(n.Entries), nil
+	}
+	if len(n.Entries) > t.maxInternal {
+		return 0, fmt.Errorf("page %d: internal overflow %d > %d", id, len(n.Entries), t.maxInternal)
+	}
+	total := 0
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		child := t.readNodeQuiet(e.Child)
+		cm := child.MBR()
+		if !rectAlmostEqual(cm, e.MBR) {
+			return 0, fmt.Errorf("page %d entry %d: MBR %v != child MBR %v", id, i, e.MBR, cm)
+		}
+		c, err := t.checkNode(e.Child, level-1)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+func rectAlmostEqual(a, b geom.Rect) bool {
+	const tol = 1e-6
+	return abs(a.MinX-b.MinX) < tol && abs(a.MinY-b.MinY) < tol &&
+		abs(a.MaxX-b.MaxX) < tol && abs(a.MaxY-b.MaxY) < tol
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,78 @@
+// Package storage simulates the disk substrate the CIJ paper measures
+// against: a page-structured store (1 KB pages by default, as in Section V)
+// fronted by an LRU buffer whose capacity is a percentage of the data size.
+//
+// Every R-tree node occupies exactly one page. All node accesses go through
+// a Buffer; a buffer miss is one physical page access — the unit of the
+// paper's "page accesses" metric. The simulated disk has no latency: the
+// experiment harness can convert page counts to charged time with the
+// paper's 10 ms/page model.
+package storage
+
+import "fmt"
+
+// DefaultPageSize is the page size used throughout the paper's evaluation
+// ("a disk page size of 1K bytes").
+const DefaultPageSize = 1024
+
+// PageID identifies a page on the simulated disk. The zero value is a valid
+// page; InvalidPage marks "no page".
+type PageID int64
+
+// InvalidPage is the sentinel for a missing page reference.
+const InvalidPage PageID = -1
+
+// Disk is an in-memory simulation of a page-structured disk. It only
+// tracks raw pages; caching and I/O accounting live in Buffer.
+//
+// Disk is not safe for concurrent use; the join algorithms are
+// deliberately sequential, as in the paper.
+type Disk struct {
+	pageSize int
+	pages    [][]byte
+}
+
+// NewDisk creates an empty disk with the given page size.
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("storage: invalid page size %d", pageSize))
+	}
+	return &Disk{pageSize: pageSize}
+}
+
+// PageSize returns the fixed page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// NumPages returns the number of allocated pages (the "data size on disk"
+// in pages, used to size buffers as a percentage).
+func (d *Disk) NumPages() int { return len(d.pages) }
+
+// Alloc allocates a new zeroed page and returns its id.
+func (d *Disk) Alloc() PageID {
+	d.pages = append(d.pages, make([]byte, d.pageSize))
+	return PageID(len(d.pages) - 1)
+}
+
+// read returns the raw page contents. Callers must treat the slice as
+// read-only.
+func (d *Disk) read(id PageID) []byte {
+	if id < 0 || int(id) >= len(d.pages) {
+		panic(fmt.Sprintf("storage: read of unallocated page %d", id))
+	}
+	return d.pages[id]
+}
+
+// write replaces the page contents. data must be at most one page.
+func (d *Disk) write(id PageID, data []byte) {
+	if id < 0 || int(id) >= len(d.pages) {
+		panic(fmt.Sprintf("storage: write of unallocated page %d", id))
+	}
+	if len(data) > d.pageSize {
+		panic(fmt.Sprintf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize))
+	}
+	page := d.pages[id]
+	copy(page, data)
+	for i := len(data); i < len(page); i++ {
+		page[i] = 0
+	}
+}

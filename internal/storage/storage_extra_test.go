@@ -1,0 +1,88 @@
+package storage
+
+import "testing"
+
+func TestBufferCapacityOne(t *testing.T) {
+	d := NewDisk(16)
+	b := NewBuffer(d, 1)
+	p1, p2 := d.Alloc(), d.Alloc()
+	b.Read(p1)
+	b.Read(p2) // evicts p1
+	if b.Contains(p1) || !b.Contains(p2) {
+		t.Fatal("capacity-1 buffer should hold exactly the last page")
+	}
+	b.Read(p1)
+	b.Read(p1)
+	s := b.Stats()
+	// p1 read twice: one miss then one hit.
+	if s.PageReads != 3 || s.LogicalReads != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRestoreStats(t *testing.T) {
+	d := NewDisk(16)
+	b := NewBuffer(d, 2)
+	id := d.Alloc()
+	b.Read(id)
+	snap := b.Stats()
+	b.Read(id)
+	b.Write(id, []byte("x"))
+	b.RestoreStats(snap)
+	if b.Stats() != snap {
+		t.Fatalf("restore failed: %+v vs %+v", b.Stats(), snap)
+	}
+}
+
+func TestWriteInstallsIntoCache(t *testing.T) {
+	d := NewDisk(16)
+	b := NewBuffer(d, 2)
+	id := d.Alloc()
+	b.Write(id, []byte("abc"))
+	if !b.Contains(id) {
+		t.Fatal("write-through should install the page")
+	}
+	// Overwriting a cached page must refresh the cached bytes.
+	b.Write(id, []byte("xyz"))
+	got := b.Read(id)
+	if string(got[:3]) != "xyz" {
+		t.Fatalf("cached page stale: %q", got[:3])
+	}
+}
+
+func TestZeroCapacityWriteDoesNotCache(t *testing.T) {
+	d := NewDisk(16)
+	b := NewBuffer(d, 0)
+	id := d.Alloc()
+	b.Write(id, []byte("q"))
+	if b.Contains(id) {
+		t.Fatal("zero-capacity buffer must not cache writes")
+	}
+}
+
+func TestManyPagesChurn(t *testing.T) {
+	// Sequential scan over 100 pages through a 10-page buffer misses on
+	// every page, twice.
+	d := NewDisk(16)
+	b := NewBuffer(d, 10)
+	var ids []PageID
+	for i := 0; i < 100; i++ {
+		ids = append(ids, d.Alloc())
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range ids {
+			b.Read(id)
+		}
+	}
+	if s := b.Stats(); s.PageReads != 200 {
+		t.Fatalf("sequential churn should miss everything: %+v", s)
+	}
+	// A repeated hot page in a small working set hits.
+	b.ResetStats()
+	for i := 0; i < 50; i++ {
+		b.Read(ids[0])
+	}
+	if s := b.Stats(); s.PageReads != 1 {
+		t.Fatalf("hot page should hit after first read: %+v", s)
+	}
+}

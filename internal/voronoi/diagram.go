@@ -1,0 +1,71 @@
+package voronoi
+
+import (
+	"cij/internal/geom"
+	"cij/internal/rtree"
+)
+
+// ComputeDiagramIter computes the full Voronoi diagram of the pointset
+// indexed by t: a depth-first traversal visits each leaf and computes the
+// cell of every point individually with Algorithm 1. This is the ITER
+// method of the Fig. 6 experiment. Cells are delivered in traversal order
+// through emit so callers can stream them (e.g. into a PolygonPacker)
+// without holding the whole diagram in memory.
+func ComputeDiagramIter(t *rtree.Tree, domain geom.Rect, emit func(Cell)) {
+	t.VisitLeavesHilbert(domain, func(leaf *rtree.Node) {
+		for _, s := range SitesOfLeaf(leaf) {
+			emit(Cell{Site: s, Poly: BFVor(t, s, domain)})
+		}
+	})
+}
+
+// ComputeDiagramBatch computes the full Voronoi diagram by computing all
+// cells of each leaf node concurrently with Algorithm 2 — the BATCH method
+// of Fig. 6 and Table II, and the building block of FM-CIJ and PM-CIJ.
+// Leaves are visited in Hilbert order of their centers, so consecutive
+// batches (and therefore the cells handed to emit) are close in space —
+// the property the paper's bottom-up R-tree packing relies on.
+func ComputeDiagramBatch(t *rtree.Tree, domain geom.Rect, emit func(Cell)) {
+	t.VisitLeavesHilbert(domain, func(leaf *rtree.Node) {
+		for _, c := range BatchVoronoi(t, SitesOfLeaf(leaf), domain) {
+			emit(c)
+		}
+	})
+}
+
+// BruteCell computes V(sites[i].Pt, sites) by clipping the domain with the
+// bisector of every other site — the O(n) definition of Eq. 2. It is the
+// ground truth the test suite compares the tree-based algorithms against.
+func BruteCell(sites []Site, i int, domain geom.Rect) geom.Polygon {
+	cell := domain.Polygon()
+	pi := sites[i].Pt
+	for j, s := range sites {
+		if j == i || cell.IsEmpty() {
+			continue
+		}
+		if s.Pt.Eq(pi) {
+			continue // coincident sites share a degenerate cell
+		}
+		cell = cell.ClipBisector(pi, s.Pt)
+	}
+	return cell
+}
+
+// BruteDiagram computes all cells by brute force.
+func BruteDiagram(sites []Site, domain geom.Rect) []Cell {
+	cells := make([]Cell, len(sites))
+	for i := range sites {
+		cells[i] = Cell{Site: sites[i], Poly: BruteCell(sites, i, domain)}
+	}
+	return cells
+}
+
+// MakeSites wraps a point slice into sites with IDs equal to slice
+// indices, matching the ID assignment of rtree.BulkLoadPoints.
+func MakeSites(pts []geom.Point) []Site {
+	sites := make([]Site, len(pts))
+	for i, p := range pts {
+		sites[i] = Site{ID: int64(i), Pt: p}
+	}
+	return sites
+}

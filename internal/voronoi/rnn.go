@@ -1,0 +1,106 @@
+package voronoi
+
+import (
+	"math"
+
+	"cij/internal/geom"
+	"cij/internal/rtree"
+)
+
+// InfluenceSet computes the reverse nearest neighbors of a query location
+// q over the pointset indexed by t: the points p whose nearest neighbor
+// (among the other indexed points and q) would be q itself. This is the
+// "influence set" operator of Stanoi et al. (VLDB 2001) — reference [7]
+// of the CIJ paper, and the origin of the "influence region" view of
+// Voronoi cells that CIJ builds on.
+//
+// Implementation follows [7]'s sector pruning: partition the plane around
+// q into six 60° sectors; within one sector, of any two points the one
+// farther from q is strictly closer to the other point than to q, so only
+// the nearest points per sector can be reverse nearest neighbors. One
+// incremental NN browse fills the sectors (we keep two candidates per
+// sector for robustness against boundary ties); each candidate is then
+// verified with a point query: p is a result iff dist(p, q) < dist(p,
+// p&apos;s nearest other indexed point).
+//
+// excludeID ≥ 0 removes one indexed object (use it when q itself is a
+// member of the indexed set).
+func InfluenceSet(t *rtree.Tree, q geom.Point, excludeID int64) []Site {
+	const perSector = 2
+	type sectorSlot struct {
+		sites []Site
+	}
+	var sectors [6]sectorSlot
+	filled := 0
+
+	it := t.NewNNIterator(q)
+	for filled < 6*perSector {
+		e, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e.ID == excludeID || e.Pt.Eq(q) {
+			continue
+		}
+		ang := math.Atan2(e.Pt.Y-q.Y, e.Pt.X-q.X)
+		s := int((ang + math.Pi) / (math.Pi / 3))
+		if s > 5 {
+			s = 5
+		}
+		if len(sectors[s].sites) < perSector {
+			sectors[s].sites = append(sectors[s].sites, Site{ID: e.ID, Pt: e.Pt})
+			filled++
+		}
+		// Sectors that have their quota stop accepting; once every sector
+		// is full no farther point can be an RNN.
+		full := 0
+		for i := range sectors {
+			if len(sectors[i].sites) == perSector {
+				full++
+			}
+		}
+		if full == 6 {
+			break
+		}
+	}
+
+	var out []Site
+	for i := range sectors {
+		for _, cand := range sectors[i].sites {
+			// Verify: is q closer to cand than cand's nearest other point?
+			nn := t.KNN(cand.Pt, 1, func(e rtree.Entry) bool {
+				return e.ID != cand.ID && e.ID != excludeID
+			})
+			dq := cand.Pt.Dist(q)
+			if len(nn) == 0 || dq < cand.Pt.Dist(nn[0].Pt) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// BruteInfluenceSet is the O(n²) oracle for InfluenceSet.
+func BruteInfluenceSet(sites []Site, q geom.Point, excludeID int64) []Site {
+	var out []Site
+	for _, p := range sites {
+		if p.ID == excludeID || p.Pt.Eq(q) {
+			continue
+		}
+		dq := p.Pt.Dist(q)
+		isRNN := true
+		for _, o := range sites {
+			if o.ID == p.ID || o.ID == excludeID {
+				continue
+			}
+			if p.Pt.Dist(o.Pt) <= dq {
+				isRNN = false
+				break
+			}
+		}
+		if isRNN {
+			out = append(out, p)
+		}
+	}
+	return out
+}

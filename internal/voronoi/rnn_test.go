@@ -1,0 +1,149 @@
+package voronoi
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cij/internal/geom"
+)
+
+func sameSiteIDs(a, b []Site) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ai := make([]int64, len(a))
+	bi := make([]int64, len(b))
+	for i := range a {
+		ai[i], bi[i] = a[i].ID, b[i].ID
+	}
+	sort.Slice(ai, func(i, j int) bool { return ai[i] < ai[j] })
+	sort.Slice(bi, func(i, j int) bool { return bi[i] < bi[j] })
+	for i := range ai {
+		if ai[i] != bi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInfluenceSetMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	pts := randPoints(rng, 800)
+	sites := MakeSites(pts)
+	tr := buildTree(t, pts)
+	for trial := 0; trial < 60; trial++ {
+		q := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		got := InfluenceSet(tr, q, -1)
+		want := BruteInfluenceSet(sites, q, -1)
+		if !sameSiteIDs(got, want) {
+			t.Fatalf("trial %d at %v: got %d RNNs, want %d", trial, q, len(got), len(want))
+		}
+	}
+}
+
+func TestInfluenceSetMemberQuery(t *testing.T) {
+	// Query with a point of the set itself (excluded by id): the RNNs of
+	// p are the points that have p as their nearest neighbor.
+	rng := rand.New(rand.NewSource(701))
+	pts := randPoints(rng, 500)
+	sites := MakeSites(pts)
+	tr := buildTree(t, pts)
+	for trial := 0; trial < 30; trial++ {
+		i := rng.Intn(len(pts))
+		got := InfluenceSet(tr, pts[i], int64(i))
+		want := BruteInfluenceSet(sites, pts[i], int64(i))
+		if !sameSiteIDs(got, want) {
+			t.Fatalf("site %d: got %d RNNs, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestInfluenceSetCardinalityBound(t *testing.T) {
+	// In the plane, a monochromatic influence set has at most 6 members.
+	rng := rand.New(rand.NewSource(702))
+	pts := randPoints(rng, 2000)
+	tr := buildTree(t, pts)
+	for trial := 0; trial < 50; trial++ {
+		q := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		if got := InfluenceSet(tr, q, -1); len(got) > 6 {
+			t.Fatalf("influence set of size %d > 6", len(got))
+		}
+	}
+}
+
+func TestInfluenceSetSmallSets(t *testing.T) {
+	// Single point: it is always the RNN of any query.
+	tr := buildTree(t, []geom.Point{geom.Pt(5000, 5000)})
+	got := InfluenceSet(tr, geom.Pt(1, 1), -1)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("singleton influence set = %+v", got)
+	}
+	// Two far points, query between but nearer to one.
+	tr2 := buildTree(t, []geom.Point{geom.Pt(1000, 5000), geom.Pt(9000, 5000)})
+	got = InfluenceSet(tr2, geom.Pt(4000, 5000), -1)
+	// Point 0: dist to q 3000 < dist to other 8000 → RNN. Point 1: dist
+	// to q 5000 < 8000 → RNN too.
+	if len(got) != 2 {
+		t.Fatalf("expected both points influenced, got %+v", got)
+	}
+	got = InfluenceSet(tr2, geom.Pt(1100, 5000), -1)
+	// Point 1: dist to q 7900 < 8000 → still RNN.
+	if len(got) != 2 {
+		t.Fatalf("expected 2 RNNs, got %+v", got)
+	}
+}
+
+func TestInfluenceSetVoronoiConsistency(t *testing.T) {
+	// Cross-check with the Voronoi view: p ∈ InfluenceSet(q) iff p lies in
+	// the cell q would get in the diagram of (P \ {p}) ∪ {q} — i.e.
+	// inserting q captures p as one of its "residents".
+	rng := rand.New(rand.NewSource(703))
+	pts := randPoints(rng, 150)
+	sites := MakeSites(pts)
+	tr := buildTree(t, pts)
+	for trial := 0; trial < 10; trial++ {
+		q := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		got := InfluenceSet(tr, q, -1)
+		inSet := map[int64]bool{}
+		for _, s := range got {
+			inSet[s.ID] = true
+		}
+		for _, s := range sites {
+			// q's cell against P \ {s}.
+			cell := testDomain.Polygon()
+			for _, o := range sites {
+				if o.ID == s.ID {
+					continue
+				}
+				cell = cell.ClipBisector(q, o.Pt)
+				if cell.IsEmpty() {
+					break
+				}
+			}
+			want := !cell.IsEmpty() && cell.Contains(s.Pt)
+			if want != inSet[s.ID] {
+				// Boundary tolerance: skip knife-edge cases.
+				dq := s.Pt.Dist(q)
+				nnD := 1e18
+				for _, o := range sites {
+					if o.ID != s.ID {
+						if d := s.Pt.Dist(o.Pt); d < nnD {
+							nnD = d
+						}
+					}
+				}
+				if absf(dq-nnD) > 1e-6 {
+					t.Fatalf("site %d: Voronoi view %v, RNN view %v", s.ID, want, inSet[s.ID])
+				}
+			}
+		}
+	}
+}
+
+func absf(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

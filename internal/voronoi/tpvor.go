@@ -1,0 +1,94 @@
+package voronoi
+
+import (
+	"cij/internal/geom"
+	"cij/internal/rtree"
+)
+
+// TPVorStats reports the work done by one TP-VOR cell computation.
+type TPVorStats struct {
+	// Traversals is the number of separate best-first NN queries issued
+	// (one per examined cell vertex) — each is a fresh root-to-leaf
+	// traversal of the R-tree, which is exactly why TP-VOR is more
+	// expensive than BF-VOR in Fig. 5.
+	Traversals int
+	// Refinements counts bisector clips applied.
+	Refinements int
+}
+
+// TPVor computes the exact Voronoi cell of pi with the multiple-traversal
+// algorithm of Zhang et al. [10] ("Location-based Spatial Queries",
+// reproduced from the description in Section II-B of the CIJ paper):
+//
+// Starting from Vc = the space domain, a time-parameterized NN query is
+// issued toward each vertex γ of Vc. If some point p' ≠ pi is strictly
+// closer to γ than pi is, γ is not a true Voronoi vertex; Vc is refined by
+// the bisector ⊥pi(pi, p') and the (changed) vertex set is re-examined.
+// The cell is exact when every vertex's nearest site is pi itself. Each
+// vertex query is an independent traversal of the R-tree — the defining
+// inefficiency the BF-VOR experiment measures.
+//
+// maxIters caps the refinement loop defensively; 0 means no cap.
+func TPVor(t *rtree.Tree, pi Site, domain geom.Rect, maxIters int) (geom.Polygon, TPVorStats) {
+	cell := domain.Polygon()
+	var stats TPVorStats
+
+	verified := make(map[geom.Point]bool)
+	for iter := 0; ; iter++ {
+		if maxIters > 0 && iter >= maxIters {
+			break
+		}
+		// Find an unverified vertex of the current cell.
+		var gamma geom.Point
+		found := false
+		for _, v := range cell.V {
+			if !verified[v] {
+				gamma, found = v, true
+				break
+			}
+		}
+		if !found {
+			break // all vertices verified: cell is exact
+		}
+		// Fresh NN traversal anchored at the vertex (the TPNN probe).
+		stats.Traversals++
+		nn := t.KNN(gamma, 1, func(e rtree.Entry) bool { return e.ID != pi.ID })
+		if len(nn) == 0 {
+			verified[gamma] = true
+			continue
+		}
+		pj := nn[0].Pt
+		if pj.Dist2(gamma) < pi.Pt.Dist2(gamma)-geom.Eps {
+			// γ is closer to pj: refine and re-examine the new vertex set.
+			refined := cell.ClipBisector(pi.Pt, pj)
+			if refined.IsEmpty() {
+				cell = refined
+				break
+			}
+			if samePolygon(refined, cell) || cell.Area()-refined.Area() < 1e-9 {
+				// The bisector grazes γ within clipping tolerance: no
+				// geometric progress is possible, accept the vertex.
+				verified[gamma] = true
+				continue
+			}
+			stats.Refinements++
+			cell = refined
+		} else {
+			verified[gamma] = true
+		}
+	}
+	return cell, stats
+}
+
+// samePolygon reports whether two polygons have identical vertex lists.
+func samePolygon(a, b geom.Polygon) bool {
+	if len(a.V) != len(b.V) {
+		return false
+	}
+	for i := range a.V {
+		if a.V[i] != b.V[i] {
+			return false
+		}
+	}
+	return true
+}

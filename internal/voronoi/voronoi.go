@@ -1,0 +1,176 @@
+// Package voronoi implements the Voronoi-cell computation machinery of the
+// CIJ paper (Section III): the single-traversal best-first algorithm
+// BF-VOR (Algorithm 1, the paper's side contribution), the batch variant
+// for groups of nearby points (Algorithm 2), the multiple-traversal
+// baseline TP-VOR it is compared against (Fig. 5), full-diagram builders
+// ITER and BATCH (Fig. 6, Table II), and a brute-force reference used by
+// the test suite.
+//
+// A Voronoi cell is represented as a convex polygon obtained by clipping
+// the rectangular space domain U with bisector halfplanes (Eq. 2).
+package voronoi
+
+import (
+	"container/heap"
+
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+)
+
+// Site is an indexed point: the dataset index doubles as the R-tree object
+// ID, which is how the algorithms recognize the query point itself during
+// traversals.
+type Site struct {
+	ID int64
+	Pt geom.Point
+}
+
+// Cell is a computed Voronoi cell.
+type Cell struct {
+	Site Site
+	Poly geom.Polygon
+}
+
+// canRefine reports whether a point at distance lower bound mindist(e, γ)
+// could still refine a cell with vertex set Γc. It is the negation of the
+// pruning condition of Lemmas 1 and 2: refinement is possible iff there
+// EXISTS a vertex γ with mindist(e, γ) < dist(γ, pi).
+func canRefine(vertices []geom.Point, pi geom.Point, dist2To func(geom.Point) float64) bool {
+	for _, g := range vertices {
+		if dist2To(g) < pi.Dist2(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// cellHeapItem is a prioritized tree entry for the best-first traversals.
+type cellHeapItem struct {
+	key   float64 // squared mindist from the anchor
+	entry rtree.Entry
+	leaf  bool
+}
+
+type cellHeap []cellHeapItem
+
+func (h cellHeap) Len() int            { return len(h) }
+func (h cellHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellHeapItem)) }
+func (h *cellHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// BFVor computes the exact Voronoi cell V(pi, P) of site pi in the pointset
+// indexed by t, with a single best-first traversal of the tree
+// (Algorithm 1, "SingleVoronoi"). Entries are visited in ascending
+// mindist from pi so that nearby points shrink the cell early; an entry is
+// pruned as soon as Lemma 2 certifies that no point below it can refine
+// the current cell.
+func BFVor(t *rtree.Tree, pi Site, domain geom.Rect) geom.Polygon {
+	cell := domain.Polygon()
+	if t.Root() == storage.InvalidPage {
+		return cell
+	}
+	var h cellHeap
+	root := t.ReadNode(t.Root())
+	pushNodeEntries(&h, root, pi.Pt)
+	for h.Len() > 0 {
+		top := heap.Pop(&h).(cellHeapItem)
+		e := top.entry
+		if top.leaf {
+			if e.ID == pi.ID {
+				continue
+			}
+			// Lemma 1: pj refines only if some vertex is closer to pj than
+			// to pi.
+			if canRefine(cell.V, pi.Pt, func(g geom.Point) float64 { return e.Pt.Dist2(g) }) {
+				cell = cell.ClipBisector(pi.Pt, e.Pt)
+			}
+			continue
+		}
+		// Lemma 2 pruning for subtrees.
+		if !canRefine(cell.V, pi.Pt, func(g geom.Point) float64 { return e.MBR.MinDist2(g) }) {
+			continue
+		}
+		pushNodeEntries(&h, t.ReadNode(e.Child), pi.Pt)
+	}
+	return cell
+}
+
+func pushNodeEntries(h *cellHeap, n *rtree.Node, anchor geom.Point) {
+	for i := range n.Entries {
+		e := n.Entries[i]
+		heap.Push(h, cellHeapItem{
+			key:   e.MBR.MinDist2(anchor),
+			entry: e,
+			leaf:  n.Leaf,
+		})
+	}
+}
+
+// BatchVoronoi computes the exact Voronoi cells of all sites in group
+// concurrently with a single traversal (Algorithm 2). The group is
+// expected to be spatially compact (typically the contents of one leaf
+// node); entries are visited in ascending mindist from the group centroid,
+// and an entry survives pruning if it may refine ANY group member's cell.
+func BatchVoronoi(t *rtree.Tree, group []Site, domain geom.Rect) []Cell {
+	cells := make([]Cell, len(group))
+	for i, s := range group {
+		cells[i] = Cell{Site: s, Poly: domain.Polygon()}
+	}
+	if len(group) == 0 || t.Root() == storage.InvalidPage {
+		return cells
+	}
+	pts := make([]geom.Point, len(group))
+	for i, s := range group {
+		pts[i] = s.Pt
+	}
+	anchor := geom.Centroid(pts)
+
+	var h cellHeap
+	pushNodeEntries(&h, t.ReadNode(t.Root()), anchor)
+	for h.Len() > 0 {
+		top := heap.Pop(&h).(cellHeapItem)
+		e := top.entry
+		if top.leaf {
+			for i := range cells {
+				c := &cells[i]
+				if e.ID == c.Site.ID {
+					continue
+				}
+				if canRefine(c.Poly.V, c.Site.Pt, func(g geom.Point) float64 { return e.Pt.Dist2(g) }) {
+					c.Poly = c.Poly.ClipBisector(c.Site.Pt, e.Pt)
+				}
+			}
+			continue
+		}
+		refinesAny := false
+		for i := range cells {
+			c := &cells[i]
+			if canRefine(c.Poly.V, c.Site.Pt, func(g geom.Point) float64 { return e.MBR.MinDist2(g) }) {
+				refinesAny = true
+				break
+			}
+		}
+		if !refinesAny {
+			continue
+		}
+		pushNodeEntries(&h, t.ReadNode(e.Child), anchor)
+	}
+	return cells
+}
+
+// SitesOfLeaf converts the point entries of a leaf node into sites.
+func SitesOfLeaf(leaf *rtree.Node) []Site {
+	sites := make([]Site, 0, len(leaf.Entries))
+	for _, e := range leaf.Entries {
+		sites = append(sites, Site{ID: e.ID, Pt: e.Pt})
+	}
+	return sites
+}

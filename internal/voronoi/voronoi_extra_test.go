@@ -1,0 +1,201 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+)
+
+// Second-round tests: structural Voronoi properties and algorithm
+// statistics.
+
+func TestCellContainsItsSiteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	pts := randPoints(rng, 500)
+	tr := buildTree(t, pts)
+	for trial := 0; trial < 50; trial++ {
+		i := rng.Intn(len(pts))
+		cell := BFVor(tr, Site{ID: int64(i), Pt: pts[i]}, testDomain)
+		if !cell.Contains(pts[i]) {
+			t.Fatalf("cell of site %d does not contain the site", i)
+		}
+		if cell.IsEmpty() {
+			t.Fatalf("cell of site %d is empty", i)
+		}
+	}
+}
+
+func TestNeighborCellInteriorsDisjoint(t *testing.T) {
+	// Sampled interior points of one cell must not be strictly inside
+	// another cell.
+	rng := rand.New(rand.NewSource(121))
+	pts := randPoints(rng, 150)
+	tr := buildTree(t, pts)
+	cells := make([]geom.Polygon, len(pts))
+	ComputeDiagramBatch(tr, testDomain, func(c Cell) { cells[c.Site.ID] = c.Poly })
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(len(pts))
+		// Sample a point strictly inside cell i (mix of centroid and site).
+		alpha := rng.Float64() * 0.8
+		s := cells[i].Centroid().Scale(alpha).Add(pts[i].Scale(1 - alpha))
+		owner := -1
+		owners := 0
+		for j := range cells {
+			if cells[j].Contains(s) {
+				owners++
+				owner = j
+			}
+		}
+		if owners > 2 {
+			t.Fatalf("sample %v inside %d cells", s, owners)
+		}
+		if owners == 1 && owner != i {
+			// Must at least be owned by its nearest site.
+			d1 := pts[i].Dist(s)
+			d2 := pts[owner].Dist(s)
+			if d2 > d1+1e-6 {
+				t.Fatalf("sample %v owned by farther site", s)
+			}
+		}
+	}
+}
+
+func TestTPVorStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	pts := randPoints(rng, 300)
+	tr := buildTree(t, pts)
+	for trial := 0; trial < 10; trial++ {
+		i := rng.Intn(len(pts))
+		_, stats := TPVor(tr, Site{ID: int64(i), Pt: pts[i]}, testDomain, 500)
+		// Every vertex of the final cell was verified by a traversal, so
+		// traversals ≥ final vertex count; refinements < traversals.
+		if stats.Traversals < 3 {
+			t.Fatalf("suspiciously few traversals: %d", stats.Traversals)
+		}
+		if stats.Refinements >= stats.Traversals {
+			t.Fatalf("refinements %d should be < traversals %d", stats.Refinements, stats.Traversals)
+		}
+	}
+}
+
+func TestTPVorIterationCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	pts := randPoints(rng, 200)
+	tr := buildTree(t, pts)
+	// With a 1-iteration cap the cell is a (possibly refined once)
+	// superset of the true cell.
+	cell, stats := TPVor(tr, Site{ID: 0, Pt: pts[0]}, testDomain, 1)
+	if stats.Traversals > 1 {
+		t.Fatalf("cap ignored: %d traversals", stats.Traversals)
+	}
+	true1 := BFVor(tr, Site{ID: 0, Pt: pts[0]}, testDomain)
+	if cell.Area() < true1.Area()-1e-6 {
+		t.Fatal("capped TP-VOR produced a smaller cell than the exact one")
+	}
+}
+
+func TestBatchVoronoiWholeDatasetAsGroup(t *testing.T) {
+	// Degenerate batch: the group is the entire (small) dataset.
+	rng := rand.New(rand.NewSource(124))
+	pts := randPoints(rng, 60)
+	tr := buildTree(t, pts)
+	sites := MakeSites(pts)
+	cells := BatchVoronoi(tr, sites, testDomain)
+	var total float64
+	for i, c := range cells {
+		want := BruteCell(sites, i, testDomain)
+		if !polysEquivalent(c.Poly, want) {
+			t.Fatalf("site %d mismatch", i)
+		}
+		total += c.Poly.Area()
+	}
+	if math.Abs(total-testDomain.Area()) > 1e-3*testDomain.Area() {
+		t.Errorf("areas sum to %v", total)
+	}
+}
+
+func TestDuplicatePointsShareCell(t *testing.T) {
+	// Coincident sites: each gets the full cell of the shared location
+	// (bisector refinement skips zero-length bisectors).
+	pts := []geom.Point{
+		geom.Pt(3000, 3000), geom.Pt(3000, 3000), // duplicates
+		geom.Pt(7000, 7000),
+	}
+	tr := buildTree(t, pts)
+	c0 := BFVor(tr, Site{ID: 0, Pt: pts[0]}, testDomain)
+	c1 := BFVor(tr, Site{ID: 1, Pt: pts[1]}, testDomain)
+	if !polysEquivalent(c0, c1) {
+		t.Fatal("duplicate sites should share one cell")
+	}
+	if !c0.Contains(geom.Pt(1000, 1000)) {
+		t.Error("duplicate-site cell should cover the lower-left region")
+	}
+}
+
+func TestBoundarySitesClippedCells(t *testing.T) {
+	// Sites on the domain boundary: cells clipped to the domain, still a
+	// partition.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10000, 0), geom.Pt(0, 10000), geom.Pt(10000, 10000),
+		geom.Pt(5000, 5000),
+	}
+	tr := buildTree(t, pts)
+	var total float64
+	for i := range pts {
+		cell := BFVor(tr, Site{ID: int64(i), Pt: pts[i]}, testDomain)
+		total += cell.Area()
+		for _, v := range cell.V {
+			if !testDomain.Contains(v) {
+				t.Fatalf("vertex %v outside domain", v)
+			}
+		}
+	}
+	if math.Abs(total-testDomain.Area()) > 1 {
+		t.Errorf("corner-site cells sum to %v", total)
+	}
+}
+
+func TestBFVorIOStableAcrossQueries(t *testing.T) {
+	// Fig. 5's stability claim, at the statistics level: the max/min node
+	// access ratio over many queries stays small for BF-VOR.
+	rng := rand.New(rand.NewSource(125))
+	pts := randPoints(rng, 5000)
+	buf := storage.NewBuffer(storage.NewDisk(storage.DefaultPageSize), 0)
+	tr := rtree.BulkLoadPoints(buf, pts, testDomain, 1)
+	minN, maxN := int64(1<<60), int64(0)
+	for trial := 0; trial < 40; trial++ {
+		i := rng.Intn(len(pts))
+		buf.ResetStats()
+		BFVor(tr, Site{ID: int64(i), Pt: pts[i]}, testDomain)
+		n := buf.Stats().LogicalReads
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN > 15*minN {
+		t.Errorf("BF-VOR node accesses unstable: %d..%d", minN, maxN)
+	}
+}
+
+func TestDiagramEmitsEachSiteOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(126))
+	pts := randPoints(rng, 777) // deliberately not a multiple of leaf size
+	tr := buildTree(t, pts)
+	seen := map[int64]int{}
+	ComputeDiagramIter(tr, testDomain, func(c Cell) { seen[c.Site.ID]++ })
+	if len(seen) != len(pts) {
+		t.Fatalf("ITER emitted %d cells", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("site %d emitted %d times", id, n)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+)
+
+var testDomain = geom.NewRect(0, 0, 10000, 10000)
+
+func buildTree(t testing.TB, pts []geom.Point) *rtree.Tree {
+	t.Helper()
+	buf := storage.NewBuffer(storage.NewDisk(storage.DefaultPageSize), 1<<20)
+	return rtree.BulkLoadPoints(buf, pts, testDomain, 1)
+}
+
+func randPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	return pts
+}
+
+// polysEquivalent compares two convex polygons by symmetric-difference
+// area, robust to vertex ordering/representation differences.
+func polysEquivalent(a, b geom.Polygon) bool {
+	if a.IsEmpty() != b.IsEmpty() {
+		return false
+	}
+	if a.IsEmpty() {
+		return true
+	}
+	inter := a.Intersection(b).Area()
+	symDiff := (a.Area() - inter) + (b.Area() - inter)
+	scale := math.Max(a.Area(), b.Area())
+	if scale < 1 {
+		scale = 1
+	}
+	return symDiff <= 1e-6*scale+1e-9
+}
+
+func TestBFVorGridCell(t *testing.T) {
+	// 3x3 grid: the center point's cell is a square.
+	var pts []geom.Point
+	for _, x := range []float64{2000, 5000, 8000} {
+		for _, y := range []float64{2000, 5000, 8000} {
+			pts = append(pts, geom.Pt(x, y))
+		}
+	}
+	tr := buildTree(t, pts)
+	centerID := int64(4) // (5000,5000) given the loop order
+	if !pts[centerID].Eq(geom.Pt(5000, 5000)) {
+		t.Fatalf("unexpected center index")
+	}
+	cell := BFVor(tr, Site{ID: centerID, Pt: pts[centerID]}, testDomain)
+	if math.Abs(cell.Area()-3000*3000) > 1 {
+		t.Errorf("center cell area = %v, want 9e6", cell.Area())
+	}
+	if !cell.Contains(geom.Pt(5000, 5000)) {
+		t.Error("cell must contain its site")
+	}
+}
+
+func TestBFVorMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	pts := randPoints(rng, 600)
+	sites := MakeSites(pts)
+	tr := buildTree(t, pts)
+	for trial := 0; trial < 60; trial++ {
+		i := rng.Intn(len(pts))
+		got := BFVor(tr, sites[i], testDomain)
+		want := BruteCell(sites, i, testDomain)
+		if !polysEquivalent(got, want) {
+			t.Fatalf("site %d: BF-VOR cell differs from brute force\ngot  %v (area %v)\nwant %v (area %v)",
+				i, got, got.Area(), want, want.Area())
+		}
+	}
+}
+
+func TestBFVorSingleTraversal(t *testing.T) {
+	// Each node must be accessed at most once per BF-VOR call: with a
+	// cold, unbounded buffer, logical reads == distinct pages touched.
+	rng := rand.New(rand.NewSource(101))
+	pts := randPoints(rng, 2000)
+	buf := storage.NewBuffer(storage.NewDisk(storage.DefaultPageSize), 1<<20)
+	tr := rtree.BulkLoadPoints(buf, pts, testDomain, 1)
+	for trial := 0; trial < 10; trial++ {
+		i := rng.Intn(len(pts))
+		buf.DropAll()
+		buf.ResetStats()
+		BFVor(tr, Site{ID: int64(i), Pt: pts[i]}, testDomain)
+		s := buf.Stats()
+		if s.LogicalReads != s.PageReads {
+			t.Fatalf("node re-accessed: logical=%d physical=%d", s.LogicalReads, s.PageReads)
+		}
+	}
+}
+
+func TestTPVorMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	pts := randPoints(rng, 400)
+	sites := MakeSites(pts)
+	tr := buildTree(t, pts)
+	for trial := 0; trial < 40; trial++ {
+		i := rng.Intn(len(pts))
+		got, stats := TPVor(tr, sites[i], testDomain, 500)
+		want := BruteCell(sites, i, testDomain)
+		if !polysEquivalent(got, want) {
+			t.Fatalf("site %d: TP-VOR cell differs from brute force (area %v vs %v)",
+				i, got.Area(), want.Area())
+		}
+		if stats.Traversals == 0 {
+			t.Fatal("TP-VOR should issue at least one traversal")
+		}
+	}
+}
+
+func TestTPVorCostsMoreThanBFVor(t *testing.T) {
+	// The Fig. 5 claim: TP-VOR incurs more node accesses than BF-VOR.
+	// Check the aggregate over many queries.
+	rng := rand.New(rand.NewSource(103))
+	pts := randPoints(rng, 3000)
+	buf := storage.NewBuffer(storage.NewDisk(storage.DefaultPageSize), 1<<20)
+	tr := rtree.BulkLoadPoints(buf, pts, testDomain, 1)
+	var bfTotal, tpTotal int64
+	for trial := 0; trial < 30; trial++ {
+		i := rng.Intn(len(pts))
+		site := Site{ID: int64(i), Pt: pts[i]}
+		buf.ResetStats()
+		BFVor(tr, site, testDomain)
+		bfTotal += buf.Stats().LogicalReads
+		buf.ResetStats()
+		TPVor(tr, site, testDomain, 500)
+		tpTotal += buf.Stats().LogicalReads
+	}
+	if tpTotal <= bfTotal {
+		t.Errorf("expected TP-VOR (%d) to cost more node accesses than BF-VOR (%d)", tpTotal, bfTotal)
+	}
+}
+
+func TestBatchVoronoiMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	pts := randPoints(rng, 800)
+	tr := buildTree(t, pts)
+	// Batch over a spatially compact group: take points near a random
+	// anchor.
+	anchor := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	nn := tr.KNN(anchor, 25, nil)
+	group := make([]Site, len(nn))
+	for i, e := range nn {
+		group[i] = Site{ID: e.ID, Pt: e.Pt}
+	}
+	batch := BatchVoronoi(tr, group, testDomain)
+	for i, c := range batch {
+		single := BFVor(tr, group[i], testDomain)
+		if !polysEquivalent(c.Poly, single) {
+			t.Fatalf("group member %d: batch cell differs from single cell", i)
+		}
+	}
+}
+
+func TestBatchVoronoiEmptyGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	tr := buildTree(t, randPoints(rng, 100))
+	if got := BatchVoronoi(tr, nil, testDomain); len(got) != 0 {
+		t.Fatalf("empty group should give no cells, got %d", len(got))
+	}
+}
+
+func TestSingleSiteOwnsWholeDomain(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1234, 5678)}
+	tr := buildTree(t, pts)
+	cell := BFVor(tr, Site{ID: 0, Pt: pts[0]}, testDomain)
+	if math.Abs(cell.Area()-testDomain.Area()) > 1e-3 {
+		t.Errorf("single site should own the whole domain, area = %v", cell.Area())
+	}
+	cell2, _ := TPVor(tr, Site{ID: 0, Pt: pts[0]}, testDomain, 100)
+	if math.Abs(cell2.Area()-testDomain.Area()) > 1e-3 {
+		t.Errorf("TP-VOR single site area = %v", cell2.Area())
+	}
+}
+
+func TestTwoSitesSplitDomain(t *testing.T) {
+	pts := []geom.Point{geom.Pt(2500, 5000), geom.Pt(7500, 5000)}
+	tr := buildTree(t, pts)
+	left := BFVor(tr, Site{ID: 0, Pt: pts[0]}, testDomain)
+	right := BFVor(tr, Site{ID: 1, Pt: pts[1]}, testDomain)
+	if math.Abs(left.Area()-5e7) > 1 || math.Abs(right.Area()-5e7) > 1 {
+		t.Errorf("two-site split areas: %v, %v", left.Area(), right.Area())
+	}
+	if left.Contains(geom.Pt(7000, 5000)) {
+		t.Error("left cell should not contain right half")
+	}
+}
+
+func TestDiagramTilesDomain(t *testing.T) {
+	// The cells of a Voronoi diagram partition the domain: areas sum to
+	// |U| and each random location lies in the cell of its nearest site.
+	rng := rand.New(rand.NewSource(106))
+	pts := randPoints(rng, 300)
+	sites := MakeSites(pts)
+	tr := buildTree(t, pts)
+
+	var total float64
+	cells := make([]Cell, 0, len(pts))
+	ComputeDiagramBatch(tr, testDomain, func(c Cell) {
+		cells = append(cells, c)
+		total += c.Poly.Area()
+	})
+	if len(cells) != len(pts) {
+		t.Fatalf("diagram has %d cells, want %d", len(cells), len(pts))
+	}
+	if math.Abs(total-testDomain.Area()) > 1e-3*testDomain.Area() {
+		t.Errorf("cell areas sum to %v, want %v", total, testDomain.Area())
+	}
+	byID := make(map[int64]geom.Polygon, len(cells))
+	for _, c := range cells {
+		byID[c.Site.ID] = c.Poly
+	}
+	for trial := 0; trial < 300; trial++ {
+		loc := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		// Nearest site by brute force.
+		best, bestD := int64(-1), math.Inf(1)
+		for _, s := range sites {
+			if d := s.Pt.Dist2(loc); d < bestD {
+				best, bestD = s.ID, d
+			}
+		}
+		if !byID[best].Contains(loc) {
+			// Tolerate locations essentially on a boundary.
+			second := math.Inf(1)
+			for _, s := range sites {
+				if s.ID == best {
+					continue
+				}
+				if d := s.Pt.Dist2(loc); d < second {
+					second = d
+				}
+			}
+			if math.Sqrt(second)-math.Sqrt(bestD) > 1e-6 {
+				t.Fatalf("location %v not in cell of its NN %d", loc, best)
+			}
+		}
+	}
+}
+
+func TestDiagramIterEqualsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	pts := randPoints(rng, 400)
+	tr := buildTree(t, pts)
+	iterCells := map[int64]geom.Polygon{}
+	ComputeDiagramIter(tr, testDomain, func(c Cell) { iterCells[c.Site.ID] = c.Poly })
+	count := 0
+	ComputeDiagramBatch(tr, testDomain, func(c Cell) {
+		count++
+		if !polysEquivalent(c.Poly, iterCells[c.Site.ID]) {
+			t.Fatalf("site %d: ITER and BATCH disagree", c.Site.ID)
+		}
+	})
+	if count != len(pts) {
+		t.Fatalf("BATCH produced %d cells", count)
+	}
+}
+
+func TestBatchCheaperThanIter(t *testing.T) {
+	// Fig. 6 CPU claim is about computation; the I/O claim is that both
+	// stay near LB. Check at least that BATCH does not do more node
+	// accesses than ITER.
+	rng := rand.New(rand.NewSource(108))
+	pts := randPoints(rng, 3000)
+	buf := storage.NewBuffer(storage.NewDisk(storage.DefaultPageSize), 1<<20)
+	tr := rtree.BulkLoadPoints(buf, pts, testDomain, 1)
+
+	buf.ResetStats()
+	ComputeDiagramIter(tr, testDomain, func(Cell) {})
+	iterReads := buf.Stats().LogicalReads
+
+	buf.ResetStats()
+	ComputeDiagramBatch(tr, testDomain, func(Cell) {})
+	batchReads := buf.Stats().LogicalReads
+
+	if batchReads > iterReads {
+		t.Errorf("BATCH node accesses (%d) exceed ITER (%d)", batchReads, iterReads)
+	}
+}
+
+func TestBruteDiagramDegenerate(t *testing.T) {
+	// Collinear points: cells are vertical slabs.
+	pts := []geom.Point{geom.Pt(1000, 5000), geom.Pt(5000, 5000), geom.Pt(9000, 5000)}
+	cells := BruteDiagram(MakeSites(pts), testDomain)
+	wantAreas := []float64{3000 * 10000, 4000 * 10000, 3000 * 10000}
+	for i, c := range cells {
+		if math.Abs(c.Poly.Area()-wantAreas[i]) > 1 {
+			t.Errorf("slab %d area = %v, want %v", i, c.Poly.Area(), wantAreas[i])
+		}
+	}
+}
+
+func TestBFVorDegenerateGrid(t *testing.T) {
+	// Regular grid has cocircular point quadruples — degenerate Voronoi
+	// vertices. The tree algorithms must still match brute force.
+	var pts []geom.Point
+	for x := 0; x < 6; x++ {
+		for y := 0; y < 6; y++ {
+			pts = append(pts, geom.Pt(float64(x)*1500+1000, float64(y)*1500+1000))
+		}
+	}
+	sites := MakeSites(pts)
+	tr := buildTree(t, pts)
+	for i := range sites {
+		got := BFVor(tr, sites[i], testDomain)
+		want := BruteCell(sites, i, testDomain)
+		if !polysEquivalent(got, want) {
+			t.Fatalf("grid site %d: mismatch (area %v vs %v)", i, got.Area(), want.Area())
+		}
+	}
+}
+
+func TestCellsClippedToDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	pts := randPoints(rng, 200)
+	tr := buildTree(t, pts)
+	ComputeDiagramBatch(tr, testDomain, func(c Cell) {
+		for _, v := range c.Poly.V {
+			if !testDomain.Contains(v) {
+				t.Fatalf("cell vertex %v escapes the domain", v)
+			}
+		}
+	})
+}
