@@ -1,0 +1,28 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs `make check`.
+
+GO ?= go
+
+.PHONY: build test race vet check bench scal
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run over the whole tree — the parallel engine must stay
+# race-clean. -short skips wall-clock speedup assertions.
+race:
+	$(GO) test -race -short ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench . -run xxx ./...
+
+# Parallel scalability table at reduced scale.
+scal:
+	$(GO) run ./cmd/cijbench -exp scal -scale 0.1

@@ -13,6 +13,7 @@ import (
 	"cij/internal/dataset"
 	"cij/internal/exp"
 	"cij/internal/joins"
+	"cij/internal/parallel"
 	"cij/internal/rtree"
 	"cij/internal/storage"
 	"cij/internal/voronoi"
@@ -257,6 +258,31 @@ func BenchmarkTable3_PA_SC(b *testing.B) {
 	}
 	b.ReportMetric(float64(pages)/float64(b.N), "pages/op")
 }
+
+// --- Parallel engine: speedup curve over serial NM-CIJ ---
+//
+// The workers=W wall-clock divided into BenchmarkFig7_NMCIJ's is the
+// speedup curve; on a multicore machine 4 workers clear 1.5x comfortably
+// (the scal experiment of cmd/cijbench prints the same curve as a table).
+
+func benchParallel(b *testing.B, workers int, balanced bool) {
+	benchCIJ(b, func(e *exp.Env) core.Result {
+		opts := parallel.DefaultOptions()
+		opts.Workers = workers
+		opts.Balanced = balanced
+		opts.CollectPairs = false
+		return parallel.Join(e.RP, e.RQ, exp.Domain, opts)
+	})
+}
+
+func BenchmarkParallel_SpeedupCurve(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run("workers="+itoa(w), func(b *testing.B) { benchParallel(b, w, false) })
+	}
+}
+
+func BenchmarkParallel_Balanced4Workers(b *testing.B) { benchParallel(b, 4, true) }
 
 // --- Baseline operators (Section II-A), for context ---
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,9 +32,10 @@ type experiment struct {
 }
 
 type config struct {
-	scale  float64
-	seed   int64
-	buffer float64
+	scale   float64
+	seed    int64
+	buffer  float64
+	workers []int
 }
 
 func scaled(n int, cfg config) int {
@@ -122,6 +124,11 @@ var experiments = []experiment{
 		exp.TableFig11("Fig. 11b — exact P-cells computed vs ratio", "|Q|:|P|", rowsB).Fprint(os.Stdout)
 		return nil
 	}},
+	{"scal", "Parallel NM-CIJ: wall-clock speedup vs worker count", func(cfg config) error {
+		rows := exp.RunScalability(scaled(100_000, cfg), cfg.workers, cfg.seed)
+		exp.TableScal(rows).Fprint(os.Stdout)
+		return nil
+	}},
 	{"table3", "Table III: CIJ on real-like dataset pairs", func(cfg config) error {
 		rows, err := exp.RunTable3(cfg.scale)
 		if err != nil {
@@ -132,15 +139,42 @@ var experiments = []experiment{
 	}},
 }
 
+// parseWorkers parses the -workers list ("1,2,4,8") into worker counts.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("want positive integers, got %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker list")
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		expName = flag.String("exp", "", "experiment to run (see -list); 'all' runs everything")
 		scale   = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
 		seed    = flag.Int64("seed", 2008, "random seed")
 		buffer  = flag.Float64("buffer", exp.DefaultBufferPct, "LRU buffer size, % of data size")
+		workers = flag.String("workers", "1,2,4,8", "worker counts for the scal experiment (comma-separated)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+
+	workerCounts, err := parseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cijbench: -workers: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list || *expName == "" {
 		fmt.Println("available experiments:")
@@ -154,7 +188,7 @@ func main() {
 		return
 	}
 
-	cfg := config{scale: *scale, seed: *seed, buffer: *buffer}
+	cfg := config{scale: *scale, seed: *seed, buffer: *buffer, workers: workerCounts}
 	names := strings.Split(*expName, ",")
 	if *expName == "all" {
 		names = names[:0]

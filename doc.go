@@ -13,11 +13,14 @@
 // LRU buffer (internal/storage), a disk-resident R-tree
 // (internal/rtree), single-traversal and batch Voronoi cell computation
 // (internal/voronoi), the three CIJ evaluation algorithms FM/PM/NM
-// (internal/core), the traditional join operators used as baselines
-// (internal/joins), dataset generators (internal/dataset), and the
-// experiment harness regenerating every table and figure of the paper
-// (internal/exp, driven by cmd/cijbench).
+// (internal/core), a partition-parallel execution engine running NM-CIJ
+// across a worker pool with exact result equivalence (internal/parallel),
+// the traditional join operators used as baselines (internal/joins),
+// dataset generators (internal/dataset), and the experiment harness
+// regenerating every table and figure of the paper plus a parallel
+// scalability experiment (internal/exp, driven by cmd/cijbench).
 //
 // The benchmarks in bench_test.go exercise one paper artifact each at
-// reduced scale; cmd/cijbench runs them at paper scale.
+// reduced scale — including the parallel speedup curve — and cmd/cijbench
+// runs them at paper scale.
 package cij

@@ -1,0 +1,3 @@
+module cij
+
+go 1.24

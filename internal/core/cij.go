@@ -16,6 +16,16 @@
 //     and nearly I/O-optimal (the paper's headline result).
 //
 // All three return identical pair sets; they differ in cost profile.
+//
+// The per-batch machinery of NM-CIJ (conditional filter, on-demand
+// refinement with the reuse buffer, join) is factored into BatchPipeline
+// so that execution strategy and algorithm are independent: NMCIJ drives
+// one pipeline over all batches in Hilbert order, while the partitioned
+// engine of internal/parallel gives every worker its own pipeline over
+// private tree views and merges the streams. Prefer that engine when
+// wall-clock latency matters and multiple cores are available; the serial
+// driver remains the reference for the paper's single-buffer I/O
+// experiments and for deterministic emission order.
 package core
 
 import (

@@ -32,69 +32,17 @@ func NMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 	col := newCollector(opts, buf)
 	cpuStart := time.Now()
 
-	var stats Stats
-	// Reuse buffer B: exact P-cells computed for the previous batch.
-	reuse := make(map[int64]geom.Polygon)
-
+	pipeline := NewBatchPipeline(rp, rq, domain, opts.Reuse)
 	visit := func(fn func(*rtree.Node)) { rq.VisitLeavesHilbert(domain, fn) }
 	if opts.PlainVisitOrder {
 		visit = rq.VisitLeaves
 	}
 	visit(func(leaf *rtree.Node) {
-		group := voronoi.SitesOfLeaf(leaf)
-		qCells := toRecords(voronoi.BatchVoronoi(rq, group, domain))
-
-		// Filter phase: candidates from P whose cells may reach the batch.
-		candidates := batchConditionalFilter(rp, qCells, domain)
-		stats.Candidates += int64(len(candidates))
-
-		// Refinement phase: exact cells for all candidates, reusing the
-		// previous batch's computations when enabled.
-		var fresh []voronoi.Site
-		pCells := make([]cellRecord, 0, len(candidates))
-		for _, cand := range candidates {
-			if opts.Reuse {
-				if poly, ok := reuse[cand.ID]; ok {
-					pCells = append(pCells, cellRecord{site: cand, poly: poly, bounds: poly.Bounds()})
-					continue
-				}
-			}
-			fresh = append(fresh, cand)
-		}
-		if len(fresh) > 0 {
-			stats.PCellsComputed += int64(len(fresh))
-			for _, c := range voronoi.BatchVoronoi(rp, fresh, domain) {
-				pCells = append(pCells, cellRecord{site: c.Site, poly: c.Poly, bounds: c.Poly.Bounds()})
-			}
-		}
-		// B is replaced by the cells of the current candidate set.
-		next := make(map[int64]geom.Polygon, len(pCells))
-		for i := range pCells {
-			next[pCells[i].site.ID] = pCells[i].poly
-		}
-		reuse = next
-
-		// Join the batch.
-		for i := range pCells {
-			pc := &pCells[i]
-			hit := false
-			for j := range qCells {
-				qc := &qCells[j]
-				if !pc.bounds.Intersects(qc.bounds) {
-					continue
-				}
-				if CellsJoin(pc.poly, qc.poly) {
-					col.emit(Pair{P: pc.site.ID, Q: qc.site.ID})
-					hit = true
-				}
-			}
-			if hit {
-				stats.TrueHits++
-			}
-		}
+		pipeline.ProcessBatch(voronoi.SitesOfLeaf(leaf), col.emit)
 		col.sample()
 	})
 
+	stats := pipeline.FilterStats()
 	stats.Join = buf.Stats().Sub(col.base)
 	stats.JoinCPU = time.Since(cpuStart)
 	stats.Progress = col.prog

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/voronoi"
+)
+
+// BatchPipeline is the per-batch machinery of NM-CIJ (Algorithms 5/6)
+// packaged as a reusable unit: given one Q-leaf batch it computes the
+// batch's Voronoi cells, runs the conditional filter against the R-tree of
+// P, refines the candidates with on-demand exact cells (served from the
+// reuse buffer of Section IV-B when possible) and emits the joining pairs.
+//
+// A pipeline owns sequential state — the reuse buffer and the
+// filter-quality counters — and performs all I/O through the tree handles
+// it was built with. It is therefore confined to one goroutine at a time.
+// Serial NM-CIJ drives a single pipeline over all batches; the partitioned
+// engine of internal/parallel gives every worker its own pipeline over
+// private tree views (rtree.Tree.WithBuffer), which keeps the hot path
+// lock-free: batches are independent except for the reuse buffer, and the
+// reuse buffer is a pure cache of exact cells, so partitioning never
+// changes the emitted pair set.
+type BatchPipeline struct {
+	rp, rq  *rtree.Tree
+	domain  geom.Rect
+	reuseOn bool
+	// Reuse buffer B: exact P-cells computed for the previous batch.
+	reuse map[int64]geom.Polygon
+	stats Stats
+}
+
+// NewBatchPipeline prepares a pipeline joining batches of rq's leaves
+// against rp over the given domain. reuse enables the Voronoi-cell reuse
+// buffer of Section IV-B.
+func NewBatchPipeline(rp, rq *rtree.Tree, domain geom.Rect, reuse bool) *BatchPipeline {
+	return &BatchPipeline{
+		rp:      rp,
+		rq:      rq,
+		domain:  domain,
+		reuseOn: reuse,
+		reuse:   make(map[int64]geom.Polygon),
+	}
+}
+
+// ProcessBatch runs one batch (the sites of one Q-leaf) through the
+// filter + refinement + join pipeline, calling emit for every result pair.
+func (bp *BatchPipeline) ProcessBatch(group []voronoi.Site, emit func(Pair)) {
+	qCells := toRecords(voronoi.BatchVoronoi(bp.rq, group, bp.domain))
+
+	// Filter phase: candidates from P whose cells may reach the batch.
+	candidates := batchConditionalFilter(bp.rp, qCells, bp.domain)
+	bp.stats.Candidates += int64(len(candidates))
+
+	// Refinement phase: exact cells for all candidates, reusing the
+	// previous batch's computations when enabled.
+	var fresh []voronoi.Site
+	pCells := make([]cellRecord, 0, len(candidates))
+	for _, cand := range candidates {
+		if bp.reuseOn {
+			if poly, ok := bp.reuse[cand.ID]; ok {
+				pCells = append(pCells, cellRecord{site: cand, poly: poly, bounds: poly.Bounds()})
+				continue
+			}
+		}
+		fresh = append(fresh, cand)
+	}
+	if len(fresh) > 0 {
+		bp.stats.PCellsComputed += int64(len(fresh))
+		for _, c := range voronoi.BatchVoronoi(bp.rp, fresh, bp.domain) {
+			pCells = append(pCells, cellRecord{site: c.Site, poly: c.Poly, bounds: c.Poly.Bounds()})
+		}
+	}
+	// B is replaced by the cells of the current candidate set.
+	next := make(map[int64]geom.Polygon, len(pCells))
+	for i := range pCells {
+		next[pCells[i].site.ID] = pCells[i].poly
+	}
+	bp.reuse = next
+
+	// Join the batch.
+	for i := range pCells {
+		pc := &pCells[i]
+		hit := false
+		for j := range qCells {
+			qc := &qCells[j]
+			if !pc.bounds.Intersects(qc.bounds) {
+				continue
+			}
+			if CellsJoin(pc.poly, qc.poly) {
+				emit(Pair{P: pc.site.ID, Q: qc.site.ID})
+				hit = true
+			}
+		}
+		if hit {
+			bp.stats.TrueHits++
+		}
+	}
+}
+
+// FilterStats returns the filter-quality counters accumulated so far:
+// Candidates, TrueHits and PCellsComputed. I/O and CPU fields are zero —
+// the driver attributes those from its own buffer snapshots and clocks.
+func (bp *BatchPipeline) FilterStats() Stats { return bp.stats }

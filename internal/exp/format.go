@@ -243,6 +243,30 @@ func TableFig11(title, xlabel string, rows []Fig11Row) Table {
 	return t
 }
 
+// TableScal renders the parallel scalability experiment.
+func TableScal(rows []ScalRow) Table {
+	t := Table{
+		Title: fmt.Sprintf("Scalability — partitioned NM-CIJ wall-clock vs workers (%d CPUs available)",
+			NumCPUForScal()),
+		Columns: []string{"dataset", "workers", "wall", "speedup", "page accesses", "pairs"},
+	}
+	for _, r := range rows {
+		workers := "serial"
+		if r.Workers > 0 {
+			workers = strconv.Itoa(r.Workers)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Dataset,
+			workers,
+			r.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			strconv.FormatInt(r.IO, 10),
+			strconv.FormatInt(r.Pairs, 10),
+		})
+	}
+	return t
+}
+
 // TableT3 renders Table III.
 func TableT3(rows []Table3Row) Table {
 	t := Table{

@@ -1,0 +1,55 @@
+package parallel
+
+import (
+	"cij/internal/core"
+	"cij/internal/storage"
+)
+
+// merge drains the workers' event stream on the caller's goroutine,
+// fanning all pair streams into the single OnPair output and folding the
+// per-worker counters into one core.Stats. Because it runs on the calling
+// goroutine, OnPair needs no synchronization on the caller's side: pairs
+// arrive serially, they just interleave across batches of different
+// workers instead of following the serial emission order.
+//
+// Progress is sampled after every batch event the way the serial
+// collector samples after every leaf: total I/O is the partition
+// traversal plus the latest cumulative snapshot of every worker, so the
+// resulting curve is the parallel run's analogue of Fig. 9b and stays
+// monotone in both coordinates.
+func merge(events <-chan event, workers int, partitionIO storage.Stats, opts Options) ([]core.Pair, core.Stats) {
+	perWorker := make([]storage.Stats, workers)
+	var stats core.Stats
+	var pairs []core.Pair
+	var count int64
+	for ev := range events {
+		for _, p := range ev.pairs {
+			count++
+			if opts.CollectPairs {
+				pairs = append(pairs, p)
+			}
+			if opts.OnPair != nil {
+				opts.OnPair(p)
+			}
+		}
+		perWorker[ev.worker] = ev.io
+		if ev.final != nil {
+			stats.Candidates += ev.final.Candidates
+			stats.TrueHits += ev.final.TrueHits
+			stats.PCellsComputed += ev.final.PCellsComputed
+		}
+		total := partitionIO
+		for _, s := range perWorker {
+			total = total.Add(s)
+		}
+		stats.Progress = append(stats.Progress, core.ProgressPoint{
+			PageAccesses: total.PageAccesses(),
+			Pairs:        count,
+		})
+	}
+	stats.Join = partitionIO
+	for _, s := range perWorker {
+		stats.Join = stats.Join.Add(s)
+	}
+	return pairs, stats
+}

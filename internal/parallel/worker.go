@@ -1,0 +1,76 @@
+package parallel
+
+import (
+	"cij/internal/core"
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+)
+
+// event is one message on the worker → merge stream: the pairs of one
+// processed batch plus the sending worker's cumulative I/O snapshot, and —
+// exactly once per worker, as its last message — the final filter-quality
+// counters.
+type event struct {
+	worker int
+	pairs  []core.Pair
+	io     storage.Stats // cumulative I/O of this worker's buffers
+	final  *core.Stats   // non-nil on the worker's last event
+}
+
+// worker owns one NM-CIJ pipeline over private tree views: its buffer
+// forks cache independently and count only its own I/O, so the batch loop
+// runs without any synchronization. Workers pull units from a shared
+// queue, which load-balances dynamically — a worker that drew a cheap
+// unit simply draws the next one.
+type worker struct {
+	id   int
+	pipe *core.BatchPipeline
+	bufs []*storage.Buffer
+}
+
+// newWorker forks private buffers over the trees' disks — capP pages for
+// the P side, capQ for the Q side, each derived from that tree's own
+// serial buffer — and builds the worker's pipeline. The fork structure
+// mirrors the serial one buffer-for-buffer: when both trees read through
+// one shared buffer (the paper's setup) a single fork serves both views
+// (capP and capQ coincide there); trees with distinct buffers get
+// distinct forks even on a shared disk, keeping each side's cache memory
+// and I/O accounting aligned with its serial counterpart.
+func newWorker(id int, rp, rq *rtree.Tree, domain geom.Rect, capP, capQ int, reuse bool) *worker {
+	bufP := rp.Buffer().Fork(capP)
+	bufs := []*storage.Buffer{bufP}
+	bufQ := bufP
+	if rq.Buffer() != rp.Buffer() {
+		bufQ = rq.Buffer().Fork(capQ)
+		bufs = append(bufs, bufQ)
+	}
+	return &worker{
+		id:   id,
+		pipe: core.NewBatchPipeline(rp.WithBuffer(bufP), rq.WithBuffer(bufQ), domain, reuse),
+		bufs: bufs,
+	}
+}
+
+// run drains the unit queue, streaming one event per processed batch so
+// pairs reach the merge (and the caller's OnPair) while the join is still
+// in flight, then reports its filter counters and returns.
+func (w *worker) run(units <-chan Unit, out chan<- event) {
+	for u := range units {
+		for _, group := range u.Batches {
+			var pairs []core.Pair
+			w.pipe.ProcessBatch(group, func(p core.Pair) { pairs = append(pairs, p) })
+			out <- event{worker: w.id, pairs: pairs, io: w.ioStats()}
+		}
+	}
+	final := w.pipe.FilterStats()
+	out <- event{worker: w.id, io: w.ioStats(), final: &final}
+}
+
+func (w *worker) ioStats() storage.Stats {
+	var s storage.Stats
+	for _, b := range w.bufs {
+		s = s.Add(b.Stats())
+	}
+	return s
+}

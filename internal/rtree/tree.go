@@ -46,6 +46,22 @@ func New(buf *storage.Buffer, kind Kind) *Tree {
 // Buffer returns the buffer the tree performs I/O through.
 func (t *Tree) Buffer() *storage.Buffer { return t.buf }
 
+// WithBuffer returns a read-only view of the tree that performs all its
+// I/O through buf, which must be backed by the same disk as the tree's own
+// buffer. Views are how concurrent traversals isolate their caching and
+// I/O accounting: each goroutine forks a private buffer
+// (storage.Buffer.Fork) and reads through its own view, so no LRU state or
+// counter is shared. Mutating a view (Insert/Delete) would desynchronize
+// the handles; views are for searches and traversals only.
+func (t *Tree) WithBuffer(buf *storage.Buffer) *Tree {
+	if buf.Disk() != t.buf.Disk() {
+		panic("rtree: WithBuffer requires a buffer over the tree's own disk")
+	}
+	view := *t
+	view.buf = buf
+	return &view
+}
+
 // Kind returns what the leaves store.
 func (t *Tree) Kind() Kind { return t.kind }
 

@@ -82,6 +82,16 @@ func NewBuffer(disk *Disk, capacity int) *Buffer {
 // Disk returns the underlying disk.
 func (b *Buffer) Disk() *Disk { return b.disk }
 
+// Fork returns a fresh, empty buffer over the same disk with the given
+// capacity and zeroed counters. A Buffer is single-goroutine state (LRU
+// list plus counters), so concurrent readers each Fork their own buffer
+// instead of sharing one: Disk reads are safe concurrently as long as no
+// page is allocated or written (see the Disk doc), which holds for the
+// join phase of the CIJ algorithms — they only read the two input trees.
+// Per-fork Stats then attribute I/O to each worker exactly, and summing
+// them yields the total physical I/O of a parallel run.
+func (b *Buffer) Fork(capacity int) *Buffer { return NewBuffer(b.disk, capacity) }
+
 // Capacity returns the buffer capacity in pages.
 func (b *Buffer) Capacity() int { return b.capacity }
 

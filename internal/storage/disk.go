@@ -25,8 +25,12 @@ const InvalidPage PageID = -1
 // Disk is an in-memory simulation of a page-structured disk. It only
 // tracks raw pages; caching and I/O accounting live in Buffer.
 //
-// Disk is not safe for concurrent use; the join algorithms are
-// deliberately sequential, as in the paper.
+// Disk is not safe for concurrent mutation: Alloc and write must not run
+// while any other access is in flight. Concurrent reads of an immutable
+// disk ARE safe — read only returns pages, never touching Disk state —
+// which is what the parallel join engine relies on: trees are built
+// single-threaded, then workers read them through private Buffer forks
+// (Buffer.Fork) with no locking.
 type Disk struct {
 	pageSize int
 	pages    [][]byte
