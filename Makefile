@@ -1,8 +1,9 @@
-# Developer entry points; CI (.github/workflows/ci.yml) runs `make check`.
+# Developer entry points; CI (.github/workflows/ci.yml) runs `make check`
+# plus the `make bench-smoke` job.
 
 GO ?= go
 
-.PHONY: build test race vet check bench scal
+.PHONY: build test race vet check bench bench-smoke bench-baseline bench-new benchstat bench-json scal
 
 build:
 	$(GO) build ./...
@@ -21,7 +22,31 @@ race:
 check: build vet race
 
 bench:
-	$(GO) test -bench . -run xxx ./...
+	$(GO) test -bench . -benchmem -run xxx ./...
+
+# One iteration of every benchmark — catches bit-rot in bench code without
+# paying for stable numbers. CI runs this on every push.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+# benchstat workflow: record a baseline on the base commit, re-run on your
+# branch, compare. BENCH_FILTER narrows the set; COUNT=10 gives benchstat
+# enough samples for significance tests.
+BENCH_FILTER ?= BenchmarkFig7_|BenchmarkParallel_SpeedupCurve
+COUNT ?= 10
+bench-baseline:
+	$(GO) test -run xxx -bench '$(BENCH_FILTER)' -benchmem -count $(COUNT) . | tee bench-baseline.txt
+bench-new:
+	$(GO) test -run xxx -bench '$(BENCH_FILTER)' -benchmem -count $(COUNT) . | tee bench-new.txt
+benchstat:
+	@command -v benchstat >/dev/null || { \
+		echo "benchstat not installed: go install golang.org/x/perf/cmd/benchstat@latest"; exit 1; }
+	benchstat bench-baseline.txt bench-new.txt
+
+# Machine-readable perf trajectory (ns/op, allocs/op, pages/op for Fig. 7
+# and the parallel speedup curve) written to BENCH_nmcij.json.
+bench-json:
+	./scripts/bench_json.sh
 
 # Parallel scalability table at reduced scale.
 scal:

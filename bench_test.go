@@ -286,19 +286,26 @@ func BenchmarkParallel_Balanced4Workers(b *testing.B) { benchParallel(b, 4, true
 
 // --- Baseline operators (Section II-A), for context ---
 
+// Like the Fig. 7 benches (benchCIJ), the environment is rebuilt outside
+// the timer for every iteration, so each run starts from a cold buffer —
+// reusing one env across iterations made these numbers incomparable with
+// the CIJ rows (warm LRU buffer, no page faults after the first run).
+
 func BenchmarkBaseline_DistanceJoin(b *testing.B) {
-	env := benchEnv(b, benchN, benchN)
-	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env := benchEnv(b, benchN, benchN)
+		b.StartTimer()
 		count := 0
 		joins.DistanceJoin(env.RP, env.RQ, 100, func(joins.PointPair) { count++ })
 	}
 }
 
 func BenchmarkBaseline_ClosestPairs(b *testing.B) {
-	env := benchEnv(b, benchN, benchN)
-	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env := benchEnv(b, benchN, benchN)
+		b.StartTimer()
 		joins.ClosestPairs(env.RP, env.RQ, 100)
 	}
 }

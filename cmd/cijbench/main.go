@@ -7,6 +7,11 @@
 //	cijbench -exp fig7 -scale 0.1     # one experiment at 10% cardinality
 //	cijbench -list                    # show available experiments
 //
+// Profiling (inspect with `go tool pprof cijbench <profile>`):
+//
+//	cijbench -exp fig7 -cpuprofile cpu.out    # CPU profile of the run
+//	cijbench -exp fig7 -memprofile mem.out    # heap profile after the run
+//
 // Scale rescales dataset cardinalities; the qualitative shapes (who wins,
 // by what factor, where curves converge) are stable across scales as long
 // as the LRU buffer remains a few dozen pages — at very small scales raise
@@ -17,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -161,12 +168,14 @@ func parseWorkers(s string) ([]int, error) {
 
 func main() {
 	var (
-		expName = flag.String("exp", "", "experiment to run (see -list); 'all' runs everything")
-		scale   = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
-		seed    = flag.Int64("seed", 2008, "random seed")
-		buffer  = flag.Float64("buffer", exp.DefaultBufferPct, "LRU buffer size, % of data size")
-		workers = flag.String("workers", "1,2,4,8", "worker counts for the scal experiment (comma-separated)")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		expName    = flag.String("exp", "", "experiment to run (see -list); 'all' runs everything")
+		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
+		seed       = flag.Int64("seed", 2008, "random seed")
+		buffer     = flag.Float64("buffer", exp.DefaultBufferPct, "LRU buffer size, % of data size")
+		workers    = flag.String("workers", "1,2,4,8", "worker counts for the scal experiment (comma-separated)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file` (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file` (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -188,9 +197,48 @@ func main() {
 		return
 	}
 
+	// Profiling hooks, so paper-scale runs can be inspected directly with
+	// `go tool pprof` instead of reconstructing the workload in a test.
+	// runExperiments exits through a return code — never os.Exit — so the
+	// profiles are finalized (StopCPUProfile, heap write) even when an
+	// experiment fails; a truncated profile is useless.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cijbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cijbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := config{scale: *scale, seed: *seed, buffer: *buffer, workers: workerCounts}
-	names := strings.Split(*expName, ",")
-	if *expName == "all" {
+	code := runExperiments(*expName, cfg)
+
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "cijbench: -memprofile: %v\n", err)
+			if code == 0 {
+				code = 2
+			}
+		}
+	}
+	if code != 0 {
+		pprof.StopCPUProfile() // idempotent; flush before the exit below skips defers
+		os.Exit(code)
+	}
+}
+
+// runExperiments resolves expName and runs each selected experiment,
+// returning a process exit code instead of exiting so main can finalize
+// profiles.
+func runExperiments(expName string, cfg config) int {
+	names := strings.Split(expName, ",")
+	if expName == "all" {
 		names = names[:0]
 		for _, e := range experiments {
 			names = append(names, e.name)
@@ -207,14 +255,26 @@ func main() {
 				fmt.Printf("\n### %s — %s (scale %g)\n", e.name, e.desc, cfg.scale)
 				if err := e.run(cfg); err != nil {
 					fmt.Fprintf(os.Stderr, "cijbench: %s: %v\n", name, err)
-					os.Exit(1)
+					return 1
 				}
 				fmt.Printf("[%s completed in %v]\n", e.name, time.Since(start).Round(time.Millisecond))
 			}
 		}
 		if !found {
 			fmt.Fprintf(os.Stderr, "cijbench: unknown experiment %q (use -list)\n", name)
-			os.Exit(2)
+			return 2
 		}
 	}
+	return 0
+}
+
+// writeHeapProfile snapshots the heap into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation stats
+	return pprof.WriteHeapProfile(f)
 }

@@ -16,13 +16,14 @@ func BruteCIJ(p, q []geom.Point, domain geom.Rect) []Pair {
 	cellsP := voronoi.BruteDiagram(voronoi.MakeSites(p), domain)
 	cellsQ := voronoi.BruteDiagram(voronoi.MakeSites(q), domain)
 	var pairs []Pair
+	var cl geom.Clipper
 	for _, cp := range cellsP {
 		bp := cp.Poly.Bounds()
 		for _, cq := range cellsQ {
 			if !bp.Intersects(cq.Poly.Bounds()) {
 				continue
 			}
-			if CellsJoin(cp.Poly, cq.Poly) {
+			if CellsJoinWith(&cl, cp.Poly, cq.Poly) {
 				pairs = append(pairs, Pair{P: cp.Site.ID, Q: cq.Site.ID})
 			}
 		}

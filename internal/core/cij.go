@@ -52,13 +52,26 @@ const joinAreaEps = 1e-6
 // location (with joinAreaEps tolerance). Exported so that examples and the
 // brute-force oracle use the byte-for-byte same rule as the algorithms.
 func CellsJoin(a, b geom.Polygon) bool {
-	if a.IsEmpty() || b.IsEmpty() {
-		return false
-	}
 	if !a.Bounds().Intersects(b.Bounds()) {
 		return false
 	}
-	return a.Intersection(b).Area() > joinAreaEps
+	var cl geom.Clipper
+	return CellsJoinWith(&cl, a, b)
+}
+
+// CellsJoinWith is CellsJoin with caller-provided clipping scratch, for
+// hot join loops that evaluate the predicate millions of times: the
+// intersection is computed through cl's reusable buffers (geom.Clipper),
+// so the call allocates nothing once the buffers have grown. It applies
+// the same halfplane sequence as Polygon.Intersection, so the verdict is
+// bit-identical to CellsJoin. Callers are expected to have pre-filtered on
+// MBR overlap (the bounds test is skipped here); a and b must not alias
+// cl's buffers.
+func CellsJoinWith(cl *geom.Clipper, a, b geom.Polygon) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	return cl.Intersect(a, b).Area() > joinAreaEps
 }
 
 // ProgressPoint is one sample of the progressive-output curve of Fig. 9b:
@@ -174,10 +187,10 @@ type cellRecord struct {
 	bounds geom.Rect
 }
 
-func toRecords(cells []voronoi.Cell) []cellRecord {
-	out := make([]cellRecord, len(cells))
-	for i, c := range cells {
-		out[i] = cellRecord{site: c.Site, poly: c.Poly, bounds: c.Poly.Bounds()}
+// appendRecords converts cells to records, appending into a reusable dst.
+func appendRecords(dst []cellRecord, cells []voronoi.Cell) []cellRecord {
+	for _, c := range cells {
+		dst = append(dst, cellRecord{site: c.Site, poly: c.Poly, bounds: c.Poly.Bounds()})
 	}
-	return out
+	return dst
 }

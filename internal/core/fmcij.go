@@ -46,9 +46,10 @@ func FMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 	joinStart := buf.Stats()
 	cpuStart = time.Now()
 	emitted := 0
+	var joinClip geom.Clipper
 	rtree.STJoin(vorP, vorQ, func(ep, eq rtree.Entry) {
 		// MBR filter already passed; refine on the exact cells.
-		if CellsJoin(ep.Poly, eq.Poly) {
+		if CellsJoinWith(&joinClip, ep.Poly, eq.Poly) {
 			col.emit(Pair{P: ep.ID, Q: eq.ID})
 			emitted++
 			if emitted%4096 == 0 {

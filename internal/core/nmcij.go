@@ -1,10 +1,11 @@
 package core
 
 import (
-	"container/heap"
+	"math"
 	"time"
 
 	"cij/internal/geom"
+	"cij/internal/pq"
 	"cij/internal/rtree"
 	"cij/internal/storage"
 	"cij/internal/voronoi"
@@ -37,8 +38,10 @@ func NMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 	if opts.PlainVisitOrder {
 		visit = rq.VisitLeaves
 	}
+	var sites []voronoi.Site // reused across leaves; ProcessBatch does not retain it
 	visit(func(leaf *rtree.Node) {
-		pipeline.ProcessBatch(voronoi.SitesOfLeaf(leaf), col.emit)
+		sites = voronoi.AppendSites(sites[:0], leaf)
+		pipeline.ProcessBatch(sites, col.emit)
 		col.sample()
 	})
 
@@ -50,55 +53,70 @@ func NMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 }
 
 // batchConditionalFilter implements Algorithm 5 generalized to a group of
-// convex polygons (the "Batch conditional filter" of Section IV-A): it
-// traverses the R-tree of P best-first from the group's centroid and
-// returns the candidate points whose Voronoi cells may intersect any
-// polygon of the group.
+// convex polygons (the "Batch conditional filter" of Section IV-A) with
+// throwaway scratch. Sequential hot loops should call filterScratch.run
+// on a reused scratch instead; recursive callers (the multiway join) need
+// this form, because an outer run's candidate slice must survive while
+// inner filters execute.
 func batchConditionalFilter(rp *rtree.Tree, group []cellRecord, domain geom.Rect) []voronoi.Site {
+	var fs filterScratch
+	return fs.run(rp, group, domain)
+}
+
+// run traverses the R-tree of P best-first from the group's centroid and
+// returns the candidate points whose Voronoi cells may intersect any
+// polygon of the group. The returned slice is the scratch's candidate
+// buffer, valid until the next run on the same scratch.
+func (fs *filterScratch) run(rp *rtree.Tree, group []cellRecord, domain geom.Rect) []voronoi.Site {
+	fs.cp = fs.cp[:0]
 	if len(group) == 0 || rp.Root() == storage.InvalidPage {
-		return nil
+		return fs.cp
 	}
 	// Anchor: centroid of the group's cell centroids; window: the MBR of
 	// the whole group (used for cheap early tests).
-	cents := make([]geom.Point, len(group))
+	fs.cents = fs.cents[:0]
 	window := geom.EmptyRect()
 	for i := range group {
-		cents[i] = group[i].poly.Centroid()
+		fs.cents = append(fs.cents, group[i].poly.Centroid())
 		window = window.Union(group[i].bounds)
 	}
-	anchor := geom.Centroid(cents)
-	windowPoly := window.Polygon()
+	anchor := geom.Centroid(fs.cents)
+	fs.winCorners = window.Corners()
+	windowPoly := geom.Polygon{V: fs.winCorners[:]}
 
-	var cp []voronoi.Site
-	var scratch filterScratch
-
-	h := &filterHeap{}
-	pushFilterEntries(h, rp.ReadNode(rp.Root()), anchor)
-	for h.Len() > 0 {
-		top := heap.Pop(h).(filterItem)
-		e := top.entry
-		if top.leaf {
+	q := &fs.q
+	q.Reset()
+	q.PushNode(rp.ReadNode(rp.Root()), anchor)
+	for q.Len() > 0 {
+		e := q.Pop()
+		if e.Leaf {
 			p := voronoi.Site{ID: e.ID, Pt: e.Pt}
-			if scratch.approxCellIntersectsGroup(p, cp, group, window, domain) {
-				cp = append(cp, p)
+			if fs.approxCellIntersectsGroup(p, fs.cp, group, window, domain) {
+				fs.cp = append(fs.cp, p)
 			}
 			continue
 		}
-		if canPruneSubtree(e.MBR, cp, group, windowPoly) {
+		if canPruneSubtree(e.MBR, fs.cp, group, windowPoly) {
 			continue
 		}
-		pushFilterEntries(h, rp.ReadNode(e.Child), anchor)
+		q.PushNode(rp.ReadNode(e.Child), anchor)
 	}
-	return cp
+	return fs.cp
 }
 
-// filterScratch holds reusable buffers for the per-point approximate-cell
-// test, the innermost loop of the conditional filter.
+// filterScratch holds the reusable state of the conditional filter: the
+// best-first queue, the candidate set and the buffers of the per-point
+// approximate-cell test, the innermost loop of the filter.
 type filterScratch struct {
-	clip geom.Clipper
-	ord  []candDist
+	q          pq.Queue
+	cp         []voronoi.Site
+	cents      []geom.Point
+	winCorners [4]geom.Point
+	clip       geom.Clipper
+	ord        []float64 // squared distance of each candidate to the probe
 }
 
+// candDist is one slot of the nearest-candidate selection.
 type candDist struct {
 	d   float64
 	idx int
@@ -111,31 +129,51 @@ type candDist struct {
 // shrinks quickly, with a periodic early exit as soon as it leaves the
 // group window.
 func (fs *filterScratch) approxCellIntersectsGroup(p voronoi.Site, cp []voronoi.Site, group []cellRecord, window geom.Rect, domain geom.Rect) bool {
-	cell := domain.Polygon()
+	cell := fs.clip.Seed(domain)
 	if len(cp) > 0 {
-		fs.ord = fs.ord[:0]
-		for i := range cp {
-			fs.ord = append(fs.ord, candDist{d: cp[i].Pt.Dist2(p.Pt), idx: i})
-		}
-		// Partial selection instead of a full sort: the nearest candidates
-		// do all the shrinking; once the cell is tight the remaining clips
-		// are no-ops, so their order is irrelevant.
+		// One pass over the candidate set: cache every squared distance
+		// (the tail scan below needs them) and keep the nearestK closest
+		// candidates in a small insertion-sorted array. The nearest
+		// candidates do all the shrinking; once the cell is tight the
+		// remaining clips are no-ops, so their order is irrelevant.
 		const nearestK = 12
-		limit := nearestK
-		if limit > len(fs.ord) {
-			limit = len(fs.ord)
-		}
-		for sel := 0; sel < limit; sel++ {
-			m := sel
-			for j := sel + 1; j < len(fs.ord); j++ {
-				if fs.ord[j].d < fs.ord[m].d {
-					m = j
+		fs.ord = fs.ord[:0]
+		var sel [nearestK]candDist
+		nsel := 0
+		for i := range cp {
+			d := cp[i].Pt.Dist2(p.Pt)
+			fs.ord = append(fs.ord, d)
+			if nsel < nearestK {
+				j := nsel
+				for j > 0 && sel[j-1].d > d {
+					sel[j] = sel[j-1]
+					j--
 				}
+				sel[j] = candDist{d: d, idx: i}
+				nsel++
+			} else if d < sel[nearestK-1].d {
+				j := nearestK - 1
+				for j > 0 && sel[j-1].d > d {
+					sel[j] = sel[j-1]
+					j--
+				}
+				sel[j] = candDist{d: d, idx: i}
 			}
-			fs.ord[sel], fs.ord[m] = fs.ord[m], fs.ord[sel]
 		}
-		for k := range fs.ord {
-			c := cp[fs.ord[k].idx]
+		// rad2 is the squared circumradius of the current cell around p: a
+		// candidate at distance ≥ 2·radius cannot cut the cell (triangle
+		// inequality on Lemma 1), so after the nearest candidates have
+		// tightened the cell, the — mostly distant — rest of the set is
+		// dismissed with one comparison each.
+		rad2 := geom.MaxDist2(cell.V, p.Pt)
+		clips := 0
+		for s := 0; s < nsel; s++ {
+			idx := sel[s].idx
+			fs.ord[idx] = math.Inf(1) // consumed; the tail scan skips it
+			if sel[s].d >= 4*rad2 {
+				continue
+			}
+			c := cp[idx]
 			if c.Pt.Eq(p.Pt) {
 				continue
 			}
@@ -143,16 +181,37 @@ func (fs *filterScratch) approxCellIntersectsGroup(p voronoi.Site, cp []voronoi.
 			if cell.IsEmpty() {
 				return false
 			}
-			if (k+1)%4 == 0 && !cell.Bounds().Intersects(window) {
+			rad2 = geom.MaxDist2(cell.V, p.Pt)
+			clips++
+			if clips%4 == 0 && !cell.Bounds().Intersects(window) {
+				return false
+			}
+		}
+		for i, d := range fs.ord {
+			if d >= 4*rad2 {
+				continue
+			}
+			c := cp[i]
+			if c.Pt.Eq(p.Pt) {
+				continue
+			}
+			cell = fs.clip.Clip(cell, geom.Bisector(p.Pt, c.Pt))
+			if cell.IsEmpty() {
+				return false
+			}
+			rad2 = geom.MaxDist2(cell.V, p.Pt)
+			clips++
+			if clips%4 == 0 && !cell.Bounds().Intersects(window) {
 				return false
 			}
 		}
 	}
-	if !cell.Bounds().Intersects(window) {
+	cellBounds := cell.Bounds()
+	if !cellBounds.Intersects(window) {
 		return false
 	}
 	for i := range group {
-		if cell.Intersects(group[i].poly) {
+		if cellBounds.Intersects(group[i].bounds) && cell.IntersectsSAT(group[i].poly) {
 			return true
 		}
 	}
@@ -210,32 +269,4 @@ func canPruneSubtree(r geom.Rect, cp []voronoi.Site, group []cellRecord, windowP
 		}
 	}
 	return false
-}
-
-// filterItem / filterHeap: best-first queue for the conditional filter.
-type filterItem struct {
-	key   float64
-	entry rtree.Entry
-	leaf  bool
-}
-
-type filterHeap []filterItem
-
-func (h filterHeap) Len() int            { return len(h) }
-func (h filterHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
-func (h filterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *filterHeap) Push(x interface{}) { *h = append(*h, x.(filterItem)) }
-func (h *filterHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-func pushFilterEntries(h *filterHeap, n *rtree.Node, anchor geom.Point) {
-	for i := range n.Entries {
-		e := n.Entries[i]
-		heap.Push(h, filterItem{key: e.MBR.MinDist2(anchor), entry: e, leaf: n.Leaf})
-	}
 }

@@ -12,22 +12,61 @@ import (
 // P, refines the candidates with on-demand exact cells (served from the
 // reuse buffer of Section IV-B when possible) and emits the joining pairs.
 //
-// A pipeline owns sequential state — the reuse buffer and the
-// filter-quality counters — and performs all I/O through the tree handles
-// it was built with. It is therefore confined to one goroutine at a time.
-// Serial NM-CIJ drives a single pipeline over all batches; the partitioned
-// engine of internal/parallel gives every worker its own pipeline over
-// private tree views (rtree.Tree.WithBuffer), which keeps the hot path
-// lock-free: batches are independent except for the reuse buffer, and the
-// reuse buffer is a pure cache of exact cells, so partitioning never
-// changes the emitted pair set.
+// A pipeline owns sequential state — the reuse buffer, the filter-quality
+// counters and all per-batch scratch (Voronoi workspaces, the filter's
+// best-first queue, cell-record slices, the polygon arenas) — and performs
+// all I/O through the tree handles it was built with. It is therefore
+// confined to one goroutine at a time. Serial NM-CIJ drives a single
+// pipeline over all batches; the partitioned engine of internal/parallel
+// gives every worker its own pipeline over private tree views
+// (rtree.Tree.WithBuffer), which keeps the hot path lock-free: batches are
+// independent except for the reuse buffer, and the reuse buffer is a pure
+// cache of exact cells, so partitioning never changes the emitted pair
+// set. Because the scratch is pipeline-owned, the steady-state batch loop
+// allocates almost nothing (see TestProcessBatchAllocBudget): every
+// per-batch buffer is reused, the reuse buffer swaps between two maps
+// instead of reallocating, and cell polygons live in two arenas that
+// alternate between consecutive batches.
 type BatchPipeline struct {
 	rp, rq  *rtree.Tree
 	domain  geom.Rect
 	reuseOn bool
 	// Reuse buffer B: exact P-cells computed for the previous batch.
-	reuse map[int64]geom.Polygon
-	stats Stats
+	// reuse is the live map; spare is the emptied map the next batch
+	// fills, so no map is ever reallocated.
+	reuse, spare map[int64]geom.Polygon
+	stats        Stats
+
+	// Per-batch scratch, reused across ProcessBatch calls.
+	wsQ, wsP       voronoi.Workspace // separate: P refinement must not clobber the batch's Q cells
+	fs             filterScratch
+	qScratch       []voronoi.Cell
+	pScratch       []voronoi.Cell
+	qCells, pCells []cellRecord
+	fresh          []voronoi.Site
+	// Cell-polygon arenas. All P-cells of a batch (fresh and reused) are
+	// copied into the current arena; the reuse map therefore only ever
+	// points into that arena, and the other one — holding the previous
+	// batch's cells — can be recycled one batch later.
+	arenas   [2]polyArena
+	curArena int
+	joinClip geom.Clipper
+}
+
+// polyArena is a bump allocator for cell vertex rings: polygons placed
+// into it share one backing slice that is reset (not freed) between uses.
+type polyArena struct {
+	buf []geom.Point
+}
+
+func (a *polyArena) reset() { a.buf = a.buf[:0] }
+
+// place copies ring vs into the arena and returns the arena-owned copy
+// (full-slice-expression capped, so later placements cannot overwrite it).
+func (a *polyArena) place(vs []geom.Point) []geom.Point {
+	n := len(a.buf)
+	a.buf = append(a.buf, vs...)
+	return a.buf[n:len(a.buf):len(a.buf)]
 }
 
 // NewBatchPipeline prepares a pipeline joining batches of rq's leaves
@@ -40,54 +79,76 @@ func NewBatchPipeline(rp, rq *rtree.Tree, domain geom.Rect, reuse bool) *BatchPi
 		domain:  domain,
 		reuseOn: reuse,
 		reuse:   make(map[int64]geom.Polygon),
+		spare:   make(map[int64]geom.Polygon),
 	}
 }
 
 // ProcessBatch runs one batch (the sites of one Q-leaf) through the
 // filter + refinement + join pipeline, calling emit for every result pair.
+// The group slice is not retained.
 func (bp *BatchPipeline) ProcessBatch(group []voronoi.Site, emit func(Pair)) {
-	qCells := toRecords(voronoi.BatchVoronoi(bp.rq, group, bp.domain))
+	bp.qScratch = bp.wsQ.BatchVoronoi(bp.rq, group, bp.domain, bp.qScratch[:0])
+	bp.qCells = appendRecords(bp.qCells[:0], bp.qScratch)
 
 	// Filter phase: candidates from P whose cells may reach the batch.
-	candidates := batchConditionalFilter(bp.rp, qCells, bp.domain)
+	candidates := bp.fs.run(bp.rp, bp.qCells, bp.domain)
 	bp.stats.Candidates += int64(len(candidates))
 
 	// Refinement phase: exact cells for all candidates, reusing the
-	// previous batch's computations when enabled.
-	var fresh []voronoi.Site
-	pCells := make([]cellRecord, 0, len(candidates))
+	// previous batch's computations when enabled. Every cell — reused or
+	// fresh — is placed into the current arena, whose polygons stay valid
+	// through the next batch (the reuse buffer may serve them there).
+	// With reuse off the cells are only read by this batch's join, so the
+	// workspace-aliased polygons are used directly and the arena copy is
+	// skipped.
+	arena := &bp.arenas[bp.curArena]
+	bp.curArena = 1 - bp.curArena
+	arena.reset()
+	bp.fresh = bp.fresh[:0]
+	bp.pCells = bp.pCells[:0]
 	for _, cand := range candidates {
 		if bp.reuseOn {
 			if poly, ok := bp.reuse[cand.ID]; ok {
-				pCells = append(pCells, cellRecord{site: cand, poly: poly, bounds: poly.Bounds()})
+				placed := geom.Polygon{V: arena.place(poly.V)}
+				bp.pCells = append(bp.pCells, cellRecord{site: cand, poly: placed, bounds: placed.Bounds()})
 				continue
 			}
 		}
-		fresh = append(fresh, cand)
+		bp.fresh = append(bp.fresh, cand)
 	}
-	if len(fresh) > 0 {
-		bp.stats.PCellsComputed += int64(len(fresh))
-		for _, c := range voronoi.BatchVoronoi(bp.rp, fresh, bp.domain) {
-			pCells = append(pCells, cellRecord{site: c.Site, poly: c.Poly, bounds: c.Poly.Bounds()})
+	if len(bp.fresh) > 0 {
+		bp.stats.PCellsComputed += int64(len(bp.fresh))
+		bp.pScratch = bp.wsP.BatchVoronoi(bp.rp, bp.fresh, bp.domain, bp.pScratch[:0])
+		for _, c := range bp.pScratch {
+			poly := c.Poly
+			if bp.reuseOn {
+				poly = geom.Polygon{V: arena.place(c.Poly.V)}
+			}
+			bp.pCells = append(bp.pCells, cellRecord{site: c.Site, poly: poly, bounds: poly.Bounds()})
 		}
 	}
-	// B is replaced by the cells of the current candidate set.
-	next := make(map[int64]geom.Polygon, len(pCells))
-	for i := range pCells {
-		next[pCells[i].site.ID] = pCells[i].poly
+	// B is replaced by the cells of the current candidate set: the maps
+	// swap roles instead of being reallocated per batch.
+	if bp.reuseOn {
+		next := bp.spare
+		clear(next)
+		for i := range bp.pCells {
+			next[bp.pCells[i].site.ID] = bp.pCells[i].poly
+		}
+		bp.spare = bp.reuse
+		bp.reuse = next
 	}
-	bp.reuse = next
 
 	// Join the batch.
-	for i := range pCells {
-		pc := &pCells[i]
+	for i := range bp.pCells {
+		pc := &bp.pCells[i]
 		hit := false
-		for j := range qCells {
-			qc := &qCells[j]
+		for j := range bp.qCells {
+			qc := &bp.qCells[j]
 			if !pc.bounds.Intersects(qc.bounds) {
 				continue
 			}
-			if CellsJoin(pc.poly, qc.poly) {
+			if CellsJoinWith(&bp.joinClip, pc.poly, qc.poly) {
 				emit(Pair{P: pc.site.ID, Q: qc.site.ID})
 				hit = true
 			}

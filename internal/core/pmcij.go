@@ -35,9 +35,17 @@ func PMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 	// --- JOIN phase: batched probes of Q cells into R'P ---
 	joinStart := buf.Stats()
 	cpuStart = time.Now()
+	var (
+		ws       voronoi.Workspace // probe-side scratch, reused across batches
+		sites    []voronoi.Site
+		cells    []voronoi.Cell
+		qCells   []cellRecord
+		joinClip geom.Clipper
+	)
 	rq.VisitLeavesHilbert(domain, func(leaf *rtree.Node) {
-		group := voronoi.SitesOfLeaf(leaf)
-		qCells := toRecords(voronoi.BatchVoronoi(rq, group, domain))
+		sites = voronoi.AppendSites(sites[:0], leaf)
+		cells = ws.BatchVoronoi(rq, sites, domain, cells[:0])
+		qCells = appendRecords(qCells[:0], cells)
 
 		// One range query window enclosing all cells of the batch.
 		window := geom.EmptyRect()
@@ -51,7 +59,7 @@ func PMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 				if !cand.MBR.Intersects(qc.bounds) {
 					continue
 				}
-				if CellsJoin(cand.Poly, qc.poly) {
+				if CellsJoinWith(&joinClip, cand.Poly, qc.poly) {
 					col.emit(Pair{P: cand.ID, Q: qc.site.ID})
 				}
 			}

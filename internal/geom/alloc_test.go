@@ -1,0 +1,79 @@
+package geom
+
+import "testing"
+
+// TestClipperZeroAlloc pins the Clipper's zero-allocation guarantee: once
+// its two buffers have grown to a chain's high-water vertex count, Seed,
+// Clip and Intersect allocate nothing. The CIJ hot path clips millions of
+// times per join, so a regression here (e.g. a make inside the clip loop)
+// costs an allocation per clip and must fail the test suite.
+func TestClipperZeroAlloc(t *testing.T) {
+	domain := NewRect(0, 0, 100, 100)
+	sites := []Point{
+		Pt(30, 30), Pt(70, 35), Pt(50, 80), Pt(20, 60), Pt(85, 75),
+	}
+	center := Pt(50, 50)
+	other := Polygon{V: []Point{Pt(40, 40), Pt(90, 45), Pt(60, 95)}}
+
+	var cl Clipper
+	// Warm up the buffers.
+	cell := cl.Seed(domain)
+	for _, s := range sites {
+		cell = cl.Clip(cell, Bisector(center, s))
+	}
+	cl.Intersect(cell, other)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		c := cl.Seed(domain)
+		for _, s := range sites {
+			c = cl.Clip(c, Bisector(center, s))
+		}
+		if r := cl.Intersect(c, other); r.IsEmpty() {
+			t.Fatal("intersection unexpectedly empty")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Seed/Clip/Intersect chain allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestClipperIntersectMatchesIntersection verifies that the pooled
+// Intersect applies the same halfplane sequence as Polygon.Intersection:
+// results must be vertex-for-vertex identical, since the CIJ join
+// predicate's verdict depends on the exact clipped area.
+func TestClipperIntersectMatchesIntersection(t *testing.T) {
+	a := Polygon{V: []Point{Pt(0, 0), Pt(60, 0), Pt(60, 60), Pt(0, 60)}}
+	b := Polygon{V: []Point{Pt(30, 10), Pt(90, 20), Pt(70, 80), Pt(25, 55)}}
+	var cl Clipper
+	got := cl.Intersect(a, b)
+	want := a.Intersection(b)
+	if len(got.V) != len(want.V) {
+		t.Fatalf("vertex count %d, want %d", len(got.V), len(want.V))
+	}
+	for i := range got.V {
+		if got.V[i] != want.V[i] {
+			t.Fatalf("vertex %d: %v, want %v", i, got.V[i], want.V[i])
+		}
+	}
+}
+
+// TestClipperSeed checks Seed against Rect.Polygon and the ping-pong
+// aliasing contract (the seeded ring is valid input to the next Clip).
+func TestClipperSeed(t *testing.T) {
+	r := NewRect(1, 2, 9, 8)
+	var cl Clipper
+	seeded := cl.Seed(r)
+	want := r.Polygon()
+	if len(seeded.V) != 4 {
+		t.Fatalf("seed has %d vertices, want 4", len(seeded.V))
+	}
+	for i := range want.V {
+		if seeded.V[i] != want.V[i] {
+			t.Fatalf("vertex %d: %v, want %v", i, seeded.V[i], want.V[i])
+		}
+	}
+	clipped := cl.Clip(seeded, Bisector(Pt(3, 5), Pt(7, 5)))
+	if clipped.IsEmpty() || clipped.Bounds().MaxX > 5+Eps {
+		t.Fatalf("clip of seeded ring wrong: %v", clipped)
+	}
+}

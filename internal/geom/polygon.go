@@ -113,13 +113,38 @@ func clipInto(vs []Point, h Halfplane, out []Point) []Point {
 
 // Clipper performs repeated halfplane clipping through two reusable
 // buffers, for hot paths that discard intermediate polygons (the
-// approximate-cell tests of the conditional filter clip millions of times
-// per join). The polygon returned by Clip aliases the clipper's internal
-// storage: it is invalidated by the next-but-one Clip call and must be
-// Cloned if it needs to survive.
+// approximate-cell tests of the conditional filter and the Voronoi cell
+// refinements clip millions of times per join).
+//
+// Aliasing contract: every polygon returned by Seed, Clip or Intersect
+// aliases the clipper's internal storage. Such a result stays valid as the
+// input of the immediately following call on the same clipper (the buffers
+// ping-pong), but it is overwritten two calls later — Clone it if it must
+// survive, or copy its vertices into caller-owned storage. Polygons that
+// must be read throughout a chain (the subtrahend o of Intersect) must NOT
+// alias the clipper's buffers. A Clipper is not safe for concurrent use.
+//
+// After the two buffers have grown to a chain's high-water vertex count,
+// all three operations allocate nothing (guarded by TestClipperZeroAlloc).
 type Clipper struct {
 	bufs [2][]Point
 	cur  int
+}
+
+// Seed loads the four corners of r into the clipper's scratch and returns
+// them as a polygon, so a clipping chain can start from the rectangular
+// space domain without the allocation of Rect.Polygon. The result follows
+// the clipper aliasing contract.
+func (cl *Clipper) Seed(r Rect) Polygon {
+	buf := append(cl.bufs[cl.cur][:0],
+		Point{r.MinX, r.MinY},
+		Point{r.MaxX, r.MinY},
+		Point{r.MaxX, r.MaxY},
+		Point{r.MinX, r.MaxY},
+	)
+	cl.bufs[cl.cur] = buf
+	cl.cur = 1 - cl.cur
+	return Polygon{V: buf}
 }
 
 // Clip is the buffer-reusing equivalent of Polygon.Clip. The input g may
@@ -136,6 +161,31 @@ func (cl *Clipper) Clip(g Polygon, h Halfplane) Polygon {
 		return Polygon{}
 	}
 	return Polygon{V: out}
+}
+
+// Intersect is the buffer-reusing form of Polygon.Intersection (which
+// delegates here): it clips g successively by the supporting halfplane of
+// every edge of o. g may be a previous result of this clipper; o must not
+// alias the clipper's buffers (it is read throughout the chain). The
+// result follows the clipper aliasing contract.
+func (cl *Clipper) Intersect(g, o Polygon) Polygon {
+	if g.IsEmpty() || o.IsEmpty() {
+		return Polygon{}
+	}
+	res := g
+	n := len(o.V)
+	for i := 0; i < n && !res.IsEmpty(); i++ {
+		j := i + 1
+		if j == n {
+			j = 0
+		}
+		e := o.V[j].Sub(o.V[i])
+		// Interior of a CCW polygon is left of the edge: normal (e.Y, -e.X)
+		// points outward, keep N·a ≤ N·vi.
+		nrm := Point{e.Y, -e.X}
+		res = cl.Clip(res, Halfplane{N: nrm, C: nrm.Dot(o.V[i])})
+	}
+	return res
 }
 
 // appendVertex adds v unless it duplicates the previous vertex.
@@ -224,6 +274,20 @@ func (g Polygon) Bounds() Rect {
 	return r
 }
 
+// MaxDist2 returns the largest squared distance from p to any point of vs
+// (zero for an empty slice). For a convex cell's vertex ring this is the
+// squared circumradius around p, the quantity behind the O(1) refinement
+// prune: a site farther than twice this radius from p cannot cut the cell.
+func MaxDist2(vs []Point, p Point) float64 {
+	var m float64
+	for _, v := range vs {
+		if d := p.Dist2(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
 // Contains reports whether point p lies in the closed polygon.
 func (g Polygon) Contains(p Point) bool {
 	if g.IsEmpty() {
@@ -245,10 +309,18 @@ func (g Polygon) Contains(p Point) bool {
 // point, via the separating axis theorem: the polygons are disjoint iff
 // some edge of either is a separating line.
 func (g Polygon) Intersects(o Polygon) bool {
-	if g.IsEmpty() || o.IsEmpty() {
+	if !g.Bounds().Intersects(o.Bounds()) {
 		return false
 	}
-	if !g.Bounds().Intersects(o.Bounds()) {
+	return g.IntersectsSAT(o)
+}
+
+// IntersectsSAT is Intersects without the bounding-box fast path, for hot
+// loops that have already compared (cached) bounds: it goes straight to
+// the separating-axis test. Polygon.Bounds is O(vertices) and recomputing
+// it for every pair of a join loop is measurable.
+func (g Polygon) IntersectsSAT(o Polygon) bool {
+	if g.IsEmpty() || o.IsEmpty() {
 		return false
 	}
 	return !hasSeparatingEdge(g, o) && !hasSeparatingEdge(o, g)
@@ -290,22 +362,13 @@ func (g Polygon) IntersectsRect(r Rect) bool {
 // Intersection returns the convex intersection polygon g ∩ o (possibly
 // empty). It clips g successively by the supporting halfplane of every edge
 // of o. The CIJ applications use it to obtain the common influence region
-// R(p, q) = V(p,P) ∩ V(q,Q) of a join pair.
+// R(p, q) = V(p,P) ∩ V(q,Q) of a join pair. It delegates to
+// Clipper.Intersect, so the owning and pooled forms cannot diverge — the
+// join predicate's verdict depends on them applying the identical
+// halfplane sequence.
 func (g Polygon) Intersection(o Polygon) Polygon {
-	if g.IsEmpty() || o.IsEmpty() {
-		return Polygon{}
-	}
-	res := g
-	n := len(o.V)
-	for i := 0; i < n && !res.IsEmpty(); i++ {
-		j := (i + 1) % n
-		e := o.V[j].Sub(o.V[i])
-		// Interior of a CCW polygon is left of the edge: normal (e.Y, -e.X)
-		// points outward, keep N·a ≤ N·vi.
-		nrm := Point{e.Y, -e.X}
-		res = res.Clip(Halfplane{N: nrm, C: nrm.Dot(o.V[i])})
-	}
-	return res
+	var cl Clipper
+	return cl.Intersect(g, o).Clone()
 }
 
 // IsConvexCCW reports whether the vertex sequence forms a convex polygon in

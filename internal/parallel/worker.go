@@ -23,6 +23,12 @@ type event struct {
 // runs without any synchronization. Workers pull units from a shared
 // queue, which load-balances dynamically — a worker that drew a cheap
 // unit simply draws the next one.
+//
+// The pipeline also carries all per-batch scratch (the typed best-first
+// queues, Voronoi workspaces, clipping buffers and polygon arenas of
+// core.BatchPipeline), so each worker's hot path is allocation-free in
+// steady state: no GC pressure is shared between workers beyond the
+// per-batch pair slices handed to the merge.
 type worker struct {
 	id   int
 	pipe *core.BatchPipeline

@@ -12,9 +12,13 @@ import (
 // through emit so callers can stream them (e.g. into a PolygonPacker)
 // without holding the whole diagram in memory.
 func ComputeDiagramIter(t *rtree.Tree, domain geom.Rect, emit func(Cell)) {
+	var ws Workspace
+	var sites []Site
 	t.VisitLeavesHilbert(domain, func(leaf *rtree.Node) {
-		for _, s := range SitesOfLeaf(leaf) {
-			emit(Cell{Site: s, Poly: BFVor(t, s, domain)})
+		sites = AppendSites(sites[:0], leaf)
+		for _, s := range sites {
+			// Clone: cells handed to emit must outlive the workspace reuse.
+			emit(Cell{Site: s, Poly: ws.BFVor(t, s, domain).Clone()})
 		}
 	})
 }
@@ -26,8 +30,14 @@ func ComputeDiagramIter(t *rtree.Tree, domain geom.Rect, emit func(Cell)) {
 // batches (and therefore the cells handed to emit) are close in space —
 // the property the paper's bottom-up R-tree packing relies on.
 func ComputeDiagramBatch(t *rtree.Tree, domain geom.Rect, emit func(Cell)) {
+	var ws Workspace
+	var sites []Site
+	var cells []Cell
 	t.VisitLeavesHilbert(domain, func(leaf *rtree.Node) {
-		for _, c := range BatchVoronoi(t, SitesOfLeaf(leaf), domain) {
+		sites = AppendSites(sites[:0], leaf)
+		cells = ws.BatchVoronoi(t, sites, domain, cells[:0])
+		for _, c := range cells {
+			c.Poly = c.Poly.Clone() // emit may retain the cell
 			emit(c)
 		}
 	})

@@ -8,12 +8,17 @@
 //
 // A Voronoi cell is represented as a convex polygon obtained by clipping
 // the rectangular space domain U with bisector halfplanes (Eq. 2).
+//
+// The traversal algorithms come in two forms: allocation-free methods on a
+// reusable Workspace (the hot path — cell polygons alias the workspace and
+// are invalidated by its next use), and package-level wrappers (BFVor,
+// BatchVoronoi) that return independently owned cells at the cost of one
+// allocation per cell.
 package voronoi
 
 import (
-	"container/heap"
-
 	"cij/internal/geom"
+	"cij/internal/pq"
 	"cij/internal/rtree"
 	"cij/internal/storage"
 )
@@ -32,128 +37,160 @@ type Cell struct {
 	Poly geom.Polygon
 }
 
-// canRefine reports whether a point at distance lower bound mindist(e, γ)
-// could still refine a cell with vertex set Γc. It is the negation of the
-// pruning condition of Lemmas 1 and 2: refinement is possible iff there
-// EXISTS a vertex γ with mindist(e, γ) < dist(γ, pi).
-func canRefine(vertices []geom.Point, pi geom.Point, dist2To func(geom.Point) float64) bool {
+// canRefinePoint reports whether point pj could still refine a cell of pi
+// with vertex set vertices and squared circumradius rad2 around pi. It is
+// the negation of the pruning condition of Lemma 1 — refinement is
+// possible iff there EXISTS a vertex γ with dist(pj, γ) < dist(γ, pi) —
+// behind an O(1) radius prefilter: by the triangle inequality,
+// dist(pj, γ) ≥ dist(pi, pj) − dist(pi, γ), so when dist(pi, pj) ≥ 2·R
+// (with R = max dist(pi, γ)) no vertex can be strictly closer to pj and
+// the per-vertex scan is skipped entirely.
+func canRefinePoint(vertices []geom.Point, pi, pj geom.Point, rad2 float64) bool {
+	if pi.Dist2(pj) >= 4*rad2 {
+		return false
+	}
 	for _, g := range vertices {
-		if dist2To(g) < pi.Dist2(g) {
+		if pj.Dist2(g) < pi.Dist2(g) {
 			return true
 		}
 	}
 	return false
 }
 
-// cellHeapItem is a prioritized tree entry for the best-first traversals.
-type cellHeapItem struct {
-	key   float64 // squared mindist from the anchor
-	entry rtree.Entry
-	leaf  bool
+// canRefineMBR is the subtree form of the test (Lemma 2): a point below an
+// entry with rectangle r could refine the cell iff some vertex γ has
+// mindist(r, γ) < dist(γ, pi). The same triangle-inequality prefilter
+// applies with mindist(r, pi) in place of dist(pi, pj).
+func canRefineMBR(vertices []geom.Point, pi geom.Point, r geom.Rect, rad2 float64) bool {
+	if r.MinDist2(pi) >= 4*rad2 {
+		return false
+	}
+	for _, g := range vertices {
+		if r.MinDist2(g) < pi.Dist2(g) {
+			return true
+		}
+	}
+	return false
 }
 
-type cellHeap []cellHeapItem
-
-func (h cellHeap) Len() int            { return len(h) }
-func (h cellHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
-func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellHeapItem)) }
-func (h *cellHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// Workspace holds the reusable state of the best-first cell computations:
+// the typed priority queue driving the traversal, per-cell clipping
+// buffers for the refinements, and the per-cell circumradii that power the
+// O(1) refinement prune (see canRefinePoint). The zero value is ready for
+// use. Reusing one workspace across calls (one per pipeline, one per
+// worker) makes the traversals allocation-free after the first few
+// batches.
+//
+// The cell polygons produced by the workspace methods alias its clipping
+// buffers: they are invalidated by the next call on the same workspace and
+// must be Cloned (or copied into caller-owned storage) to be retained.
+// A Workspace is not safe for concurrent use.
+type Workspace struct {
+	q     pq.Queue
+	clips []geom.Clipper // one per group member, reused across calls
+	rad2  []float64      // per-cell squared circumradius around its site
+	pts   []geom.Point   // centroid scratch
 }
 
-// BFVor computes the exact Voronoi cell V(pi, P) of site pi in the pointset
-// indexed by t, with a single best-first traversal of the tree
-// (Algorithm 1, "SingleVoronoi"). Entries are visited in ascending
-// mindist from pi so that nearby points shrink the cell early; an entry is
-// pruned as soon as Lemma 2 certifies that no point below it can refine
-// the current cell.
-func BFVor(t *rtree.Tree, pi Site, domain geom.Rect) geom.Polygon {
-	cell := domain.Polygon()
+// ensureClips grows the per-cell clipper pool to at least n entries.
+func (ws *Workspace) ensureClips(n int) {
+	for len(ws.clips) < n {
+		ws.clips = append(ws.clips, geom.Clipper{})
+	}
+}
+
+// BFVor computes the exact Voronoi cell V(pi, P) of site pi in the
+// pointset indexed by t, with a single best-first traversal of the tree
+// (Algorithm 1, "SingleVoronoi"). Entries are visited in ascending mindist
+// from pi so that nearby points shrink the cell early; an entry is pruned
+// as soon as Lemma 2 certifies that no point below it can refine the
+// current cell. The returned polygon aliases the workspace.
+func (ws *Workspace) BFVor(t *rtree.Tree, pi Site, domain geom.Rect) geom.Polygon {
+	ws.ensureClips(1)
+	cl := &ws.clips[0]
+	cell := cl.Seed(domain)
 	if t.Root() == storage.InvalidPage {
 		return cell
 	}
-	var h cellHeap
-	root := t.ReadNode(t.Root())
-	pushNodeEntries(&h, root, pi.Pt)
-	for h.Len() > 0 {
-		top := heap.Pop(&h).(cellHeapItem)
-		e := top.entry
-		if top.leaf {
+	rad2 := geom.MaxDist2(cell.V, pi.Pt)
+	q := &ws.q
+	q.Reset()
+	q.PushNode(t.ReadNode(t.Root()), pi.Pt)
+	for q.Len() > 0 {
+		e := q.Pop()
+		if e.Leaf {
 			if e.ID == pi.ID {
 				continue
 			}
 			// Lemma 1: pj refines only if some vertex is closer to pj than
 			// to pi.
-			if canRefine(cell.V, pi.Pt, func(g geom.Point) float64 { return e.Pt.Dist2(g) }) {
-				cell = cell.ClipBisector(pi.Pt, e.Pt)
+			if canRefinePoint(cell.V, pi.Pt, e.Pt, rad2) {
+				cell = cl.Clip(cell, geom.Bisector(pi.Pt, e.Pt))
+				rad2 = geom.MaxDist2(cell.V, pi.Pt)
 			}
 			continue
 		}
 		// Lemma 2 pruning for subtrees.
-		if !canRefine(cell.V, pi.Pt, func(g geom.Point) float64 { return e.MBR.MinDist2(g) }) {
+		if !canRefineMBR(cell.V, pi.Pt, e.MBR, rad2) {
 			continue
 		}
-		pushNodeEntries(&h, t.ReadNode(e.Child), pi.Pt)
+		q.PushNode(t.ReadNode(e.Child), pi.Pt)
 	}
 	return cell
 }
 
-func pushNodeEntries(h *cellHeap, n *rtree.Node, anchor geom.Point) {
-	for i := range n.Entries {
-		e := n.Entries[i]
-		heap.Push(h, cellHeapItem{
-			key:   e.MBR.MinDist2(anchor),
-			entry: e,
-			leaf:  n.Leaf,
-		})
-	}
+// BFVor is the owning-result form of Workspace.BFVor for callers outside
+// the hot path: the returned polygon is independent of any scratch.
+func BFVor(t *rtree.Tree, pi Site, domain geom.Rect) geom.Polygon {
+	var ws Workspace
+	return ws.BFVor(t, pi, domain).Clone()
 }
 
 // BatchVoronoi computes the exact Voronoi cells of all sites in group
-// concurrently with a single traversal (Algorithm 2). The group is
-// expected to be spatially compact (typically the contents of one leaf
-// node); entries are visited in ascending mindist from the group centroid,
-// and an entry survives pruning if it may refine ANY group member's cell.
-func BatchVoronoi(t *rtree.Tree, group []Site, domain geom.Rect) []Cell {
-	cells := make([]Cell, len(group))
+// concurrently with a single traversal (Algorithm 2), appending them to
+// dst (which may be nil) and returning it. The group is expected to be
+// spatially compact (typically the contents of one leaf node); entries are
+// visited in ascending mindist from the group centroid, and an entry
+// survives pruning if it may refine ANY group member's cell. The cell
+// polygons alias the workspace.
+func (ws *Workspace) BatchVoronoi(t *rtree.Tree, group []Site, domain geom.Rect, dst []Cell) []Cell {
+	ws.ensureClips(len(group))
 	for i, s := range group {
-		cells[i] = Cell{Site: s, Poly: domain.Polygon()}
+		dst = append(dst, Cell{Site: s, Poly: ws.clips[i].Seed(domain)})
 	}
 	if len(group) == 0 || t.Root() == storage.InvalidPage {
-		return cells
+		return dst
 	}
-	pts := make([]geom.Point, len(group))
+	cells := dst[len(dst)-len(group):]
+	ws.pts = ws.pts[:0]
+	ws.rad2 = ws.rad2[:0]
 	for i, s := range group {
-		pts[i] = s.Pt
+		ws.pts = append(ws.pts, s.Pt)
+		ws.rad2 = append(ws.rad2, geom.MaxDist2(cells[i].Poly.V, s.Pt))
 	}
-	anchor := geom.Centroid(pts)
+	anchor := geom.Centroid(ws.pts)
 
-	var h cellHeap
-	pushNodeEntries(&h, t.ReadNode(t.Root()), anchor)
-	for h.Len() > 0 {
-		top := heap.Pop(&h).(cellHeapItem)
-		e := top.entry
-		if top.leaf {
+	q := &ws.q
+	q.Reset()
+	q.PushNode(t.ReadNode(t.Root()), anchor)
+	for q.Len() > 0 {
+		e := q.Pop()
+		if e.Leaf {
 			for i := range cells {
 				c := &cells[i]
 				if e.ID == c.Site.ID {
 					continue
 				}
-				if canRefine(c.Poly.V, c.Site.Pt, func(g geom.Point) float64 { return e.Pt.Dist2(g) }) {
-					c.Poly = c.Poly.ClipBisector(c.Site.Pt, e.Pt)
+				if canRefinePoint(c.Poly.V, c.Site.Pt, e.Pt, ws.rad2[i]) {
+					c.Poly = ws.clips[i].Clip(c.Poly, geom.Bisector(c.Site.Pt, e.Pt))
+					ws.rad2[i] = geom.MaxDist2(c.Poly.V, c.Site.Pt)
 				}
 			}
 			continue
 		}
 		refinesAny := false
 		for i := range cells {
-			c := &cells[i]
-			if canRefine(c.Poly.V, c.Site.Pt, func(g geom.Point) float64 { return e.MBR.MinDist2(g) }) {
+			if canRefineMBR(cells[i].Poly.V, cells[i].Site.Pt, e.MBR, ws.rad2[i]) {
 				refinesAny = true
 				break
 			}
@@ -161,16 +198,32 @@ func BatchVoronoi(t *rtree.Tree, group []Site, domain geom.Rect) []Cell {
 		if !refinesAny {
 			continue
 		}
-		pushNodeEntries(&h, t.ReadNode(e.Child), anchor)
+		q.PushNode(t.ReadNode(e.Child), anchor)
+	}
+	return dst
+}
+
+// BatchVoronoi is the owning-result form of Workspace.BatchVoronoi: the
+// returned cells are independent of any scratch.
+func BatchVoronoi(t *rtree.Tree, group []Site, domain geom.Rect) []Cell {
+	var ws Workspace
+	cells := ws.BatchVoronoi(t, group, domain, make([]Cell, 0, len(group)))
+	for i := range cells {
+		cells[i].Poly = cells[i].Poly.Clone()
 	}
 	return cells
 }
 
+// AppendSites appends the point entries of a leaf node to dst as sites,
+// for callers that reuse one sites buffer across leaves.
+func AppendSites(dst []Site, leaf *rtree.Node) []Site {
+	for _, e := range leaf.Entries {
+		dst = append(dst, Site{ID: e.ID, Pt: e.Pt})
+	}
+	return dst
+}
+
 // SitesOfLeaf converts the point entries of a leaf node into sites.
 func SitesOfLeaf(leaf *rtree.Node) []Site {
-	sites := make([]Site, 0, len(leaf.Entries))
-	for _, e := range leaf.Entries {
-		sites = append(sites, Site{ID: e.ID, Pt: e.Pt})
-	}
-	return sites
+	return AppendSites(make([]Site, 0, len(leaf.Entries)), leaf)
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# bench_json.sh — run the Fig. 7 CIJ benchmarks and the parallel speedup
+# curve and write the results as JSON (default: BENCH_nmcij.json), so the
+# repo accumulates a machine-readable performance trajectory alongside the
+# human-readable benchstat workflow (see README "Performance").
+#
+# Usage:
+#   scripts/bench_json.sh [out.json]
+#   BENCHTIME=5x scripts/bench_json.sh     # more iterations per bench
+#
+# Each record carries ns/op, B/op, allocs/op and the paper-unit pages/op.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_nmcij.json}
+benchtime=${BENCHTIME:-3x}
+
+raw=$(go test -run xxx -bench 'BenchmarkFig7_|BenchmarkParallel_SpeedupCurve' \
+	-benchmem -benchtime "$benchtime" .)
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "benchmarks": [\n'
+	echo "$raw" | awk '
+		/^Benchmark/ {
+			if (n++) printf ",\n"
+			name = $1
+			sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+			printf "    {\"name\":\"%s\",\"iterations\":%s", name, $2
+			for (i = 3; i + 1 <= NF; i += 2) {
+				unit = $(i + 1)
+				sub(/\/op$/, "", unit)
+				gsub(/[^A-Za-z0-9]/, "_", unit)
+				printf ",\"%s_op\":%s", unit, $i
+			}
+			printf "}"
+		}
+		END { printf "\n" }
+	'
+	printf '  ]\n}\n'
+} >"$out"
+
+echo "wrote $out"
