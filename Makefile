@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-smoke bench-baseline bench-new benchstat bench-json scal
+.PHONY: build test race vet check bench bench-smoke bench-baseline bench-new benchstat bench-json scal serve smoke-server bench-service
 
 build:
 	$(GO) build ./...
@@ -51,3 +51,18 @@ bench-json:
 # Parallel scalability table at reduced scale.
 scal:
 	$(GO) run ./cmd/cijbench -exp scal -scale 0.1
+
+# Run the CIJ query service locally with two demo datasets preloaded
+# (README "Serving CIJ" has curl examples against it).
+serve:
+	$(GO) run ./cmd/cijserver -addr :8080 -preload "demo_p=uniform:20000,demo_q=clustered:20000"
+
+# End-to-end server smoke: start cijserver, ingest, join, stream, assert.
+# CI runs this on every push.
+smoke-server:
+	./scripts/smoke_server.sh
+
+# Query-service load benchmark: sustained req/s at 1/4/16 concurrent join
+# clients, written to BENCH_service.json (also part of bench-json).
+bench-service:
+	$(GO) run ./cmd/cijbench -exp serve -scale 0.02 -clients 1,4,16 -servejson BENCH_service.json

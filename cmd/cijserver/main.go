@@ -1,0 +1,125 @@
+// Command cijserver serves common-influence joins over HTTP: named
+// versioned datasets, planned execution (serial NM/PM/FM or the
+// partitioned parallel engine), a versioned LRU result cache and
+// progressive NDJSON streaming. See internal/service for the architecture
+// and the README "Serving CIJ" section for curl examples.
+//
+// Usage:
+//
+//	cijserver -addr :8080
+//	cijserver -addr :8080 -preload "a=uniform:20000,b=clustered:20000"
+//
+// Preload specs are name=kind:n pairs (kind uniform or clustered, or a
+// Table I code with no :n), loaded before the listener starts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"cij/internal/dataset"
+	"cij/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		admit   = flag.Int("admit", 0, "max concurrent join executions (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, "result cache entries (0 = default 64, -1 = disabled)")
+		buffer  = flag.Float64("buffer", 0, "per-dataset LRU buffer, % of data pages (0 = paper's 2%)")
+		preload = flag.String("preload", "", "datasets to load at startup: name=kind:n[,name=kind:n...]")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		BufferPct:     *buffer,
+		CacheEntries:  *cache,
+		MaxConcurrent: *admit,
+	})
+	if err := preloadDatasets(svc, *preload); err != nil {
+		fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("cijserver listening on %s", ln.Addr())
+
+	srv := &http.Server{Handler: logRequests(svc.Handler())}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		log.Printf("cijserver shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+}
+
+// preloadDatasets parses and loads -preload specs ("name=uniform:20000").
+func preloadDatasets(svc *service.Service, specs string) error {
+	if specs == "" {
+		return nil
+	}
+	for i, part := range strings.Split(specs, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, genSpec, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("-preload entry %d: want name=kind:n, got %q", i, part)
+		}
+		kind, nStr, hasN := strings.Cut(genSpec, ":")
+		spec := dataset.Spec{Kind: kind, Seed: int64(9000 + i)}
+		if hasN {
+			n, err := strconv.Atoi(nStr)
+			if err != nil {
+				return fmt.Errorf("-preload %s: bad cardinality %q: %v", name, nStr, err)
+			}
+			spec.N = n
+		}
+		pts, err := spec.Generate()
+		if err != nil {
+			return fmt.Errorf("-preload %s: %v", name, err)
+		}
+		d, err := svc.Ingest(name, pts)
+		if err != nil {
+			return fmt.Errorf("-preload %s: %v", name, err)
+		}
+		log.Printf("preloaded dataset %s: %d points, %d pages", d.Name, len(d.Points), d.Pages)
+	}
+	return nil
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -4,7 +4,7 @@
 // Subcommands:
 //
 //	cijtool gen  -kind uniform|clustered|PP|SC|CE|LO|PA -n 1000 -seed 1 -o pts.csv
-//	cijtool join -p restaurants.csv -q cinemas.csv [-algo nm|pm|fm] [-pairs]
+//	cijtool join -p restaurants.csv -q cinemas.csv [-algo nm|pm|fm] [-pairs] [-json]
 //	cijtool vor  -p pts.csv -site 17
 //
 // Input CSVs are "x,y" lines; coordinates are normalized to the library's
@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"cij/internal/dataset"
 	"cij/internal/exp"
 	"cij/internal/geom"
+	"cij/internal/service"
 	"cij/internal/voronoi"
 )
 
@@ -53,7 +55,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cijtool gen  -kind uniform|clustered|PP|SC|CE|LO|PA -n 1000 -seed 1 [-clusters 20] -o out.csv
-  cijtool join -p left.csv -q right.csv [-algo nm|pm|fm] [-pairs] [-buffer 2]
+  cijtool join -p left.csv -q right.csv [-algo nm|pm|fm] [-pairs] [-json] [-buffer 2]
   cijtool vor  -p pts.csv -site 0`)
 }
 
@@ -67,18 +69,10 @@ func runGen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var pts []geom.Point
-	switch *kind {
-	case "uniform":
-		pts = dataset.Uniform(*n, *seed)
-	case "clustered":
-		pts = dataset.Clustered(*n, *clusters, *seed)
-	default:
-		var err error
-		pts, err = dataset.RealLike(*kind, 1)
-		if err != nil {
-			return err
-		}
+	spec := dataset.Spec{Kind: *kind, N: *n, Clusters: *clusters, Seed: *seed}
+	pts, err := spec.Generate()
+	if err != nil {
+		return err
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -114,6 +108,7 @@ func runJoin(args []string) error {
 	qPath := fs.String("q", "", "CSV of pointset Q")
 	algo := fs.String("algo", "nm", "algorithm: nm, pm, or fm")
 	showPairs := fs.Bool("pairs", false, "print every pair (indexes into the input files)")
+	asJSON := fs.Bool("json", false, "emit the result as JSON on stdout (the query service's JoinResponse encoding)")
 	buffer := fs.Float64("buffer", exp.DefaultBufferPct, "LRU buffer, % of data size")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,7 +126,7 @@ func runJoin(args []string) error {
 	}
 	env := exp.BuildEnv(p, q, exp.DefaultPageSize, *buffer)
 	opts := core.DefaultOptions()
-	opts.CollectPairs = *showPairs
+	opts.CollectPairs = *asJSON
 	var count int64
 	opts.OnPair = func(pr core.Pair) {
 		count++
@@ -139,7 +134,6 @@ func runJoin(args []string) error {
 			fmt.Printf("%d\t%d\n", pr.P, pr.Q)
 		}
 	}
-	opts.CollectPairs = false
 
 	start := time.Now()
 	var res core.Result
@@ -155,6 +149,17 @@ func runJoin(args []string) error {
 	}
 	elapsed := time.Since(start)
 
+	if *asJSON {
+		// The service's response encoding, verbatim (service/encode.go):
+		// one schema for CLI and server output.
+		resp := service.NewJoinResponse(*pPath, *qPath, *algo, 0,
+			res.Pairs, res.Stats.PageAccesses(), elapsed, 0)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(os.Stderr, "CIJ(%s ⋈ %s) via %s-CIJ: %d pairs\n", *pPath, *qPath, *algo, count)
 	fmt.Fprintf(os.Stderr, "I/O: %d page accesses (MAT %d + JOIN %d), LB %d; CPU %v\n",
 		res.Stats.PageAccesses(), res.Stats.Mat.PageAccesses(), res.Stats.Join.PageAccesses(),

@@ -139,6 +139,51 @@ func RealLike(name string, scale float64) ([]geom.Point, error) {
 	return nil, fmt.Errorf("dataset: unknown real dataset %q (want PP, SC, CE, LO or PA)", name)
 }
 
+// Spec is a named generator specification: the declarative form of "which
+// pointset" shared by the query service's registry loaders, cijtool gen
+// and the serve load generator, so every entry point builds datasets
+// through the same door.
+type Spec struct {
+	// Kind is "uniform", "clustered", or a Table I code (PP/SC/CE/LO/PA).
+	Kind string
+	// N is the cardinality for uniform/clustered kinds.
+	N int
+	// Clusters is the mixture size for the clustered kind (default 20).
+	Clusters int
+	// Seed derives the points deterministically.
+	Seed int64
+	// Scale shrinks Table I cardinalities; 0 or 1 means full scale.
+	Scale float64
+}
+
+// Generate materializes the spec into points on the normalized domain.
+func (s Spec) Generate() ([]geom.Point, error) {
+	switch s.Kind {
+	case "uniform":
+		if s.N <= 0 {
+			return nil, fmt.Errorf("dataset: spec %q needs n > 0, got %d", s.Kind, s.N)
+		}
+		return Uniform(s.N, s.Seed), nil
+	case "clustered":
+		if s.N <= 0 {
+			return nil, fmt.Errorf("dataset: spec %q needs n > 0, got %d", s.Kind, s.N)
+		}
+		clusters := s.Clusters
+		if clusters <= 0 {
+			clusters = 20
+		}
+		return Clustered(s.N, clusters, s.Seed), nil
+	case "":
+		return nil, fmt.Errorf("dataset: spec has no kind (want uniform, clustered, or PP/SC/CE/LO/PA)")
+	default:
+		scale := s.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		return RealLike(s.Kind, scale)
+	}
+}
+
 // WriteCSV writes points as "x,y" lines.
 func WriteCSV(w io.Writer, pts []geom.Point) error {
 	bw := bufio.NewWriter(w)

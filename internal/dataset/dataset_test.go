@@ -164,3 +164,86 @@ func TestNormalize(t *testing.T) {
 		t.Error("empty input should stay empty")
 	}
 }
+
+// TestReadCSVMalformedRows pins the parser's error paths: short rows, long
+// rows, unparsable coordinates — each rejected with the offending line
+// number — while blank lines and comments stay skippable.
+func TestReadCSVMalformedRows(t *testing.T) {
+	for _, tc := range []struct {
+		name, in, wantInErr string
+	}{
+		{"short row", "1,2\n5\n", "line 2"},
+		{"missing y", "1,\n", "line 1"},
+		{"missing x", ",2\n", "line 1"},
+		{"too many fields", "1,2\n3,4,5\n", "line 2"},
+		{"bad x", "# ok\nx,2\n", "line 2"},
+		{"bad y", "1,2\n\n3,yy\n", "line 3"},
+	} {
+		pts, err := ReadCSV(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: ReadCSV(%q) = %v, want error", tc.name, tc.in, pts)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantInErr) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.wantInErr)
+		}
+	}
+}
+
+// TestReadCSVEmptyInputs: nothing to parse is not an error, it is an empty
+// pointset (callers decide whether that is acceptable).
+func TestReadCSVEmptyInputs(t *testing.T) {
+	for _, in := range []string{"", "\n\n", "# only comments\n"} {
+		pts, err := ReadCSV(strings.NewReader(in))
+		if err != nil || len(pts) != 0 {
+			t.Errorf("ReadCSV(%q) = %v, %v; want empty, nil", in, pts, err)
+		}
+	}
+}
+
+// TestSpecGenerate: the named loader produces the same points as the
+// direct generator calls and rejects unusable specs.
+func TestSpecGenerate(t *testing.T) {
+	got, err := (Spec{Kind: "uniform", N: 100, Seed: 5}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Uniform(100, 5); len(got) != len(want) || got[17] != want[17] {
+		t.Fatal("uniform spec disagrees with Uniform")
+	}
+
+	got, err = (Spec{Kind: "clustered", N: 100, Clusters: 7, Seed: 5}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Clustered(100, 7, 5); len(got) != len(want) || got[17] != want[17] {
+		t.Fatal("clustered spec disagrees with Clustered")
+	}
+	// Default cluster count applies when unset.
+	defaulted, err := (Spec{Kind: "clustered", N: 50, Seed: 2}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Clustered(50, 20, 2); defaulted[3] != want[3] {
+		t.Fatal("clustered spec default mixture size is not 20")
+	}
+
+	got, err = (Spec{Kind: "PA", Scale: 0.01}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := RealLike("PA", 0.01); len(got) != len(want) {
+		t.Fatalf("PA spec cardinality %d, want %d", len(got), len(want))
+	}
+
+	for _, bad := range []Spec{
+		{},                            // no kind
+		{Kind: "uniform"},             // no n
+		{Kind: "clustered", N: -3},    // bad n
+		{Kind: "dodecahedral", N: 10}, // unknown kind
+	} {
+		if _, err := bad.Generate(); err == nil {
+			t.Errorf("Spec %+v generated without error", bad)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cij/internal/dataset"
+	"cij/internal/service"
+)
+
+// ServeLoadOptions configures the query-service load generator
+// (cijbench -exp serve).
+type ServeLoadOptions struct {
+	// Addr targets a running cijserver ("host:port" or full URL); empty
+	// starts a private in-process server seeded with two uniform datasets.
+	Addr string
+	// Clients is the list of concurrency levels to sustain, e.g. 1,4,16.
+	Clients []int
+	// Duration is how long each level runs.
+	Duration time.Duration
+	// N is the per-dataset cardinality of the in-process server's seed
+	// datasets (ignored with Addr).
+	N int
+	// Seed derives the seed datasets.
+	Seed int64
+	// Cache enables the in-process server's result cache. Off by default:
+	// the load generator rotates a fixed query mix, so with caching the
+	// benchmark would measure memoized-response throughput rather than
+	// sustained join execution.
+	Cache bool
+}
+
+// ServeRow is one concurrency level of the serve benchmark.
+type ServeRow struct {
+	Clients    int           `json:"clients"`
+	Requests   int64         `json:"requests"`
+	Errors     int64         `json:"errors"`
+	Wall       time.Duration `json:"wall_ns"`
+	Throughput float64       `json:"req_per_sec"`
+	P50        time.Duration `json:"p50_ns"`
+	P95        time.Duration `json:"p95_ns"`
+}
+
+// serveQueryMix is the rotating request mix: serial NM, the parallel
+// engine, and a TopK-capped variant, so one run exercises the planner's
+// main paths rather than one hot loop.
+var serveQueryMix = []service.JoinRequest{
+	{Left: "load_p", Right: "load_q", Algo: "nm"},
+	{Left: "load_p", Right: "load_q", Algo: "parallel", Workers: 2},
+	{Left: "load_p", Right: "load_q", Algo: "nm", TopK: 10},
+}
+
+// RunServeLoad drives POST /join at each requested concurrency level for
+// the configured duration and reports sustained throughput and latency
+// quantiles. With no target address it serves itself: a service.Service
+// behind httptest with two generated datasets, which is what the
+// BENCH_service.json trajectory records.
+func RunServeLoad(opts ServeLoadOptions) ([]ServeRow, error) {
+	base := opts.Addr
+	if base == "" {
+		cacheEntries := -1
+		if opts.Cache {
+			cacheEntries = 0 // service default
+		}
+		svc := service.New(service.Config{CacheEntries: cacheEntries})
+		n := opts.N
+		if n <= 0 {
+			n = 2000
+		}
+		if _, err := svc.Ingest("load_p", dataset.Uniform(n, opts.Seed)); err != nil {
+			return nil, err
+		}
+		if _, err := svc.Ingest("load_q", dataset.Uniform(n, opts.Seed+1)); err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		base = ts.URL
+	} else if base[0] == ':' {
+		base = "http://127.0.0.1" + base
+	} else if len(base) < 7 || (base[:7] != "http://" && base[:8] != "https://") {
+		base = "http://" + base
+	}
+
+	bodies := make([][]byte, len(serveQueryMix))
+	for i, q := range serveQueryMix {
+		b, err := json.Marshal(q)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var rows []ServeRow
+	for _, clients := range opts.Clients {
+		row, err := runServeLevel(client, base, bodies, clients, opts.Duration)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runServeLevel sustains one concurrency level: clients goroutines loop
+// over the query mix until the deadline, recording per-request latency.
+func runServeLevel(client *http.Client, base string, bodies [][]byte, clients int, duration time.Duration) (ServeRow, error) {
+	if duration <= 0 {
+		duration = 2 * time.Second
+	}
+	var (
+		stop     atomic.Bool
+		requests atomic.Int64
+		errs     atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 1024)
+			for i := c; !stop.Load(); i++ {
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(base+"/join", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				ok := resp.StatusCode == http.StatusOK
+				var jr service.JoinResponse
+				if json.NewDecoder(resp.Body).Decode(&jr) != nil || jr.Count == 0 {
+					ok = false // a join of non-empty datasets always has pairs
+				}
+				resp.Body.Close()
+				requests.Add(1)
+				if !ok {
+					// Error responses count as attempts but never as
+					// throughput or latency samples: a row must not report
+					// 400-response round-trips as join serving rate.
+					errs.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	wall := time.Since(start)
+
+	row := ServeRow{
+		Clients:  clients,
+		Requests: requests.Load(),
+		Errors:   errs.Load(),
+		Wall:     wall,
+	}
+	succeeded := int64(len(lats))
+	if wall > 0 {
+		row.Throughput = float64(succeeded) / wall.Seconds()
+	}
+	if succeeded > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		row.P50 = lats[len(lats)*50/100]
+		row.P95 = lats[min(len(lats)*95/100, len(lats)-1)]
+	}
+	if succeeded == 0 {
+		return row, fmt.Errorf("serve load: no successful request at %d clients (%d attempts, %d errors — server unreachable or missing the load_p/load_q datasets?)",
+			clients, row.Requests, row.Errors)
+	}
+	return row, nil
+}
+
+// TableServe renders the serve benchmark rows.
+func TableServe(rows []ServeRow) Table {
+	t := Table{
+		Title:   "Serve — sustained join throughput vs concurrent clients (POST /join, cache off)",
+		Columns: []string{"clients", "requests", "errors", "req/s", "p50", "p95"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			formatInt(r.Clients),
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%d", r.Errors),
+			fmt.Sprintf("%.1f", r.Throughput),
+			r.P50.Round(time.Microsecond * 10).String(),
+			r.P95.Round(time.Microsecond * 10).String(),
+		})
+	}
+	return t
+}
+
+// WriteServeJSON writes the serve rows as the BENCH_service.json document:
+// one record per concurrency level plus run metadata.
+func WriteServeJSON(w interface{ Write([]byte) (int, error) }, rows []ServeRow, scale float64) error {
+	doc := struct {
+		Date  string     `json:"date"`
+		Scale float64    `json:"scale"`
+		Rows  []ServeRow `json:"rows"`
+	}{
+		Date:  time.Now().UTC().Format(time.RFC3339),
+		Scale: scale,
+		Rows:  rows,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

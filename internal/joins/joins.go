@@ -11,8 +11,7 @@
 package joins
 
 import (
-	"container/heap"
-
+	"cij/internal/pq"
 	"cij/internal/rtree"
 	"cij/internal/storage"
 )
@@ -77,41 +76,29 @@ func distJoinNodes(rp, rq *rtree.Tree, np, nq *rtree.Node, lp, lq int, eps float
 	}
 }
 
-// pairHeapItem is a prioritized pair of subtrees / objects for the
-// best-first k-closest-pairs search.
-type pairHeapItem struct {
-	key      float64
+// pairItem is a prioritized pair of subtrees / objects for the best-first
+// k-closest-pairs search; the priority (mindist of the two MBRs) lives in
+// the pq.Min key.
+type pairItem struct {
 	ep, eq   rtree.Entry
 	lp, lq   int  // remaining heights (0 = object)
 	leafPair bool // both entries are objects
 }
 
-type pairHeap []pairHeapItem
-
-func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairHeapItem)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
 // ClosestPairs returns the k closest pairs between the two indexed
 // pointsets in ascending distance (Hjaltason & Samet / Corral et al.,
-// combining incremental NN ideas with synchronous traversal).
+// combining incremental NN ideas with synchronous traversal). The frontier
+// lives in a typed pq.Min heap — the same no-boxing treatment the core
+// traversals got — so expansion allocates only when the frontier grows past
+// its high-water mark.
 func ClosestPairs(rp, rq *rtree.Tree, k int) []PointPair {
 	if k <= 0 || rp.Root() == storage.InvalidPage || rq.Root() == storage.InvalidPage {
 		return nil
 	}
-	h := &pairHeap{}
+	var h pq.Min[pairItem]
 	push := func(ep, eq rtree.Entry, lp, lq int, leafPair bool) {
-		heap.Push(h, pairHeapItem{
-			key: ep.MBR.MinDistRect(eq.MBR),
-			ep:  ep, eq: eq, lp: lp, lq: lq, leafPair: leafPair,
+		h.Push(ep.MBR.MinDistRect(eq.MBR), pairItem{
+			ep: ep, eq: eq, lp: lp, lq: lq, leafPair: leafPair,
 		})
 	}
 	np := rp.ReadNode(rp.Root())
@@ -120,9 +107,9 @@ func ClosestPairs(rp, rq *rtree.Tree, k int) []PointPair {
 
 	var out []PointPair
 	for h.Len() > 0 && len(out) < k {
-		top := heap.Pop(h).(pairHeapItem)
+		key, top := h.Pop()
 		if top.leafPair {
-			out = append(out, PointPair{P: top.ep.ID, Q: top.eq.ID, Dist: top.key})
+			out = append(out, PointPair{P: top.ep.ID, Q: top.eq.ID, Dist: key})
 			continue
 		}
 		if top.lp >= top.lq && top.lp > 0 {

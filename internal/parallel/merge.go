@@ -42,10 +42,14 @@ func merge(events <-chan event, workers int, partitionIO storage.Stats, opts Opt
 		for _, s := range perWorker {
 			total = total.Add(s)
 		}
-		stats.Progress = append(stats.Progress, core.ProgressPoint{
+		point := core.ProgressPoint{
 			PageAccesses: total.PageAccesses(),
 			Pairs:        count,
-		})
+		}
+		stats.Progress = append(stats.Progress, point)
+		if opts.OnProgress != nil {
+			opts.OnProgress(point)
+		}
 	}
 	stats.Join = partitionIO
 	for _, s := range perWorker {

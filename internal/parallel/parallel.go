@@ -36,6 +36,13 @@ type Options struct {
 	// Fig. 9b — so it needs no internal locking, but it should return
 	// quickly: a slow OnPair backpressures the workers.
 	OnPair func(core.Pair)
+	// OnProgress, when non-nil, streams each progress sample (cumulative
+	// physical I/O across all workers vs pairs emitted so far) as the merge
+	// records it — the live form of Stats.Progress. Like OnPair it runs on
+	// Join's calling goroutine, interleaved with the pair stream, so a
+	// consumer can relay a progressive Fig. 9b curve (the query service's
+	// NDJSON stream does exactly this) without waiting for Join to return.
+	OnProgress func(core.ProgressPoint)
 	// CollectPairs controls whether Result.Pairs is populated. Pair order
 	// interleaves worker streams and is not deterministic across runs;
 	// the pair SET is always identical to serial NM-CIJ's.

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"cij/internal/core"
+)
+
+// cacheKey canonicalizes one join computation: dataset names qualified by
+// their versions plus every parameter that affects the computed pair set
+// or its cost profile. TopK is deliberately absent — the cache stores the
+// full pair list and responses slice a prefix — so one entry serves every
+// TopK of the same join.
+func cacheKey(left, right *Dataset, algo string, workers int) string {
+	return fmt.Sprintf("%s@%d|%s@%d|%s|w%d", left.Name, left.Version, right.Name, right.Version, algo, workers)
+}
+
+// cachedResult is one memoized join: the full pair list and the cost of
+// the run that produced it.
+type cachedResult struct {
+	Pairs []core.Pair
+	Count int64
+	Pages int64
+	CPU   time.Duration
+}
+
+// resultCache is the versioned LRU of join results. Versioned keys make
+// invalidation implicit (a re-ingested dataset changes every key it
+// participates in), so the cache only needs classic LRU mechanics plus an
+// eager sweep to release the memory of unreachable entries.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recently used
+	byKey   map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type cacheSlot struct {
+	key string
+	res *cachedResult
+}
+
+// newResultCache creates a cache holding at most capEntries results;
+// capEntries <= 0 disables caching (every lookup misses, nothing stored).
+func newResultCache(capEntries int) *resultCache {
+	return &resultCache{
+		cap:   capEntries,
+		lru:   list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used. The returned result is shared: callers must treat Pairs as
+// read-only (slicing a TopK prefix is fine).
+func (c *resultCache) get(key string) (*cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheSlot).res, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put stores res under key, evicting from the LRU tail on overflow.
+func (c *resultCache) put(key string, res *cachedResult) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheSlot).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheSlot{key: key, res: res})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.byKey, back.Value.(*cacheSlot).key)
+		c.evicted++
+	}
+}
+
+// invalidateDataset removes every entry involving the named dataset (any
+// version). Correctness does not need this — version-qualified keys are
+// already unreachable after a re-ingest — but the pair lists can be large
+// and there is no reason to keep feeding dead entries through LRU
+// eviction.
+func (c *resultCache) invalidateDataset(name string) {
+	left, right := name+"@", "|"+name+"@"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		key := el.Value.(*cacheSlot).key
+		if strings.HasPrefix(key, left) || strings.Contains(key, right) {
+			c.lru.Remove(el)
+			delete(c.byKey, key)
+		}
+		el = next
+	}
+}
+
+// counters returns a snapshot of the hit/miss/eviction counters and the
+// current entry count.
+func (c *resultCache) counters() (hits, misses, evicted int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted, c.lru.Len()
+}

@@ -1,0 +1,61 @@
+// Package service is the CIJ query service: the layer that turns the
+// repository's join algorithms into something that can be *served* —
+// named datasets, concurrent queries, result reuse — rather than run once
+// from a test harness or CLI. cmd/cijserver exposes it over HTTP.
+//
+// # Architecture
+//
+// The service is three cooperating parts behind a small HTTP surface:
+//
+//   - Registry (registry.go): named, versioned pointsets. Each Dataset
+//     owns a private simulated disk, an LRU storage.Buffer sized as a
+//     percentage of its data pages, and an rtree.Tree bulk-loaded over
+//     that buffer at ingest time — so serving a join never pays index
+//     construction for the no-materialization algorithms. Ingesting a
+//     name again replaces the whole Dataset value and bumps a
+//     registry-scoped version counter; in-flight queries keep reading the
+//     old dataset's disk (immutable after build), new queries see the new
+//     version. Queries never touch a dataset's base buffer: each request
+//     forks a private buffer view (storage.Buffer.Fork +
+//     rtree.Tree.WithBuffer), which keeps concurrent joins lock-free on
+//     the hot path, exactly as the parallel engine's workers do.
+//
+//   - Planner/dispatcher (planner.go): maps a Query {left, right, algo,
+//     workers, topk} onto an execution plan. An explicit algo ("nm", "pm",
+//     "fm", "parallel") is honored; "auto" (or empty) picks the parallel
+//     partitioned engine when the joint cardinality is large enough to
+//     amortize its fan-out and serial NM-CIJ otherwise, sizing the worker
+//     pool from dataset cardinalities when the query does not fix it. The
+//     materializing algorithms (PM/FM) write Voronoi R-trees, so they run
+//     in a per-request scratch environment (their own disk) instead of the
+//     registry's read-only disks. A bounded admission semaphore caps the
+//     number of joins executing at once: excess requests queue (FIFO on a
+//     channel) instead of thrashing the machine, and /stats reports the
+//     in-flight count.
+//
+//   - Result cache (cache.go): a versioned LRU keyed by
+//     (left@ver, right@ver, algo, workers). Because dataset versions are
+//     part of the key, re-ingesting a dataset invalidates all its cached
+//     results implicitly — stale entries can never be hit and age out of
+//     the LRU; ingest also sweeps them eagerly to release memory. A
+//     repeated join on unchanged datasets is served entirely from memory:
+//     zero page accesses, zero admission slots. TopK is applied when
+//     building the response, not in the key, so one cached result serves
+//     every prefix of itself.
+//
+// # HTTP surface
+//
+//	POST /datasets/{name}   ingest CSV body or ?gen= generator spec
+//	GET  /datasets          list name/version/cardinality/pages
+//	POST /join              buffered JSON join (JoinRequest -> JoinResponse)
+//	GET  /join/stream       progressive NDJSON: pair lines as the join
+//	                        produces them (Fig. 9b's non-blocking property,
+//	                        preserved through parallel.Options.OnPair),
+//	                        progress lines from the parallel engine's
+//	                        OnProgress hook, then one summary line
+//	GET  /stats             counters: datasets, joins, cache, page accesses
+//
+// The buffered and streaming paths share one executor and one encoding
+// (encode.go); cmd/cijtool's -json flag emits the same JoinResponse, so
+// CLI and server outputs cannot drift.
+package service

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"time"
+
+	"cij/internal/core"
+)
+
+// This file is the single JSON vocabulary of the service. cmd/cijtool's
+// `join -json` emits the same JoinResponse, so the CLI and the server
+// cannot drift apart in their machine-readable output.
+
+// PairJSON is one result pair: indexes into the left and right datasets.
+type PairJSON struct {
+	P int64 `json:"p"`
+	Q int64 `json:"q"`
+}
+
+// JoinStatsJSON is the cost profile of one join computation.
+type JoinStatsJSON struct {
+	// PageAccesses is the physical I/O of the run (0 when served from
+	// cache).
+	PageAccesses int64 `json:"page_accesses"`
+	// WallMS is the wall-clock time of the computation in milliseconds
+	// (the original run's when served from cache).
+	WallMS float64 `json:"wall_ms"`
+}
+
+// JoinRequest is the body of POST /join.
+type JoinRequest struct {
+	Left    string `json:"left"`
+	Right   string `json:"right"`
+	Algo    string `json:"algo,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	TopK    int    `json:"topk,omitempty"`
+}
+
+// JoinResponse is the buffered join result — the shared response encoding
+// of POST /join and `cijtool join -json`.
+type JoinResponse struct {
+	Left         string        `json:"left"`
+	LeftVersion  int           `json:"left_version,omitempty"`
+	Right        string        `json:"right"`
+	RightVersion int           `json:"right_version,omitempty"`
+	Algo         string        `json:"algo"`
+	Workers      int           `json:"workers,omitempty"`
+	Cached       bool          `json:"cached"`
+	Count        int64         `json:"count"`
+	Pairs        []PairJSON    `json:"pairs,omitempty"`
+	Stats        JoinStatsJSON `json:"stats"`
+}
+
+// NewJoinResponse assembles the shared encoding from raw join output;
+// topK == 0 keeps all pairs, topK > 0 caps them, topK < 0 omits the pair
+// list entirely (Count still reports the full cardinality). It is
+// exported for cmd/cijtool.
+func NewJoinResponse(left, right, algo string, workers int, pairs []core.Pair, pages int64, wall time.Duration, topK int) JoinResponse {
+	return JoinResponse{
+		Left:    left,
+		Right:   right,
+		Algo:    algo,
+		Workers: workers,
+		Count:   int64(len(pairs)),
+		Pairs:   encodePairs(pairs, topK),
+		Stats: JoinStatsJSON{
+			PageAccesses: pages,
+			WallMS:       float64(wall) / float64(time.Millisecond),
+		},
+	}
+}
+
+// response builds the JoinResponse for one dispatcher outcome.
+func (o *Outcome) response(topK int) JoinResponse {
+	resp := NewJoinResponse(o.Left.Name, o.Right.Name, o.Plan.Algo, o.Plan.Workers,
+		o.Result.Pairs, o.Result.Pages, o.Result.CPU, topK)
+	resp.LeftVersion = o.Left.Version
+	resp.RightVersion = o.Right.Version
+	resp.Cached = o.Cached
+	if o.Cached {
+		resp.Stats.PageAccesses = 0 // a hit performs no I/O
+	}
+	return resp
+}
+
+// encodePairs converts pairs (capped at topK when topK > 0, omitted when
+// topK < 0) to the wire form.
+func encodePairs(pairs []core.Pair, topK int) []PairJSON {
+	if topK < 0 {
+		return nil
+	}
+	if topK > 0 && topK < len(pairs) {
+		pairs = pairs[:topK]
+	}
+	out := make([]PairJSON, len(pairs))
+	for i, p := range pairs {
+		out[i] = PairJSON{P: p.P, Q: p.Q}
+	}
+	return out
+}
+
+// Stream line types of GET /join/stream (NDJSON): pair lines as produced,
+// progress lines from the parallel engine's OnProgress hook, one summary
+// line last.
+
+// StreamPair is one streamed pair line ({"type":"pair",...}).
+type StreamPair struct {
+	Type string `json:"type"`
+	P    int64  `json:"p"`
+	Q    int64  `json:"q"`
+}
+
+// StreamProgress is one streamed progress sample: the live Fig. 9b curve.
+type StreamProgress struct {
+	Type         string `json:"type"`
+	PageAccesses int64  `json:"page_accesses"`
+	Pairs        int64  `json:"pairs"`
+}
+
+// StreamSummary is the terminal stream line: the JoinResponse without the
+// pair list (the pairs already went over the wire).
+type StreamSummary struct {
+	Type string `json:"type"`
+	JoinResponse
+}
+
+// DatasetInfo describes one registry entry in /datasets and /stats.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Points  int    `json:"points"`
+	Pages   int    `json:"pages"`
+}
+
+// datasetInfo converts a registry entry to its wire form.
+func datasetInfo(d *Dataset) DatasetInfo {
+	return DatasetInfo{Name: d.Name, Version: d.Version, Points: len(d.Points), Pages: d.Pages}
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	UptimeMS      float64       `json:"uptime_ms"`
+	Datasets      []DatasetInfo `json:"datasets"`
+	Ingests       int64         `json:"ingests"`
+	JoinsServed   int64         `json:"joins_served"`
+	JoinsComputed int64         `json:"joins_computed"`
+	PageAccesses  int64         `json:"page_accesses"`
+	CacheHits     int64         `json:"cache_hits"`
+	CacheMisses   int64         `json:"cache_misses"`
+	CacheEntries  int           `json:"cache_entries"`
+	CacheEvicted  int64         `json:"cache_evicted"`
+	InFlight      int           `json:"in_flight"`
+	MaxConcurrent int           `json:"max_concurrent"`
+}
+
+// StatsSnapshot assembles the current counters.
+func (s *Service) StatsSnapshot() StatsResponse {
+	hits, misses, evicted, entries := s.cache.counters()
+	datasets := s.reg.List()
+	infos := make([]DatasetInfo, len(datasets))
+	for i, d := range datasets {
+		infos[i] = datasetInfo(d)
+	}
+	return StatsResponse{
+		UptimeMS:      float64(time.Since(s.start)) / float64(time.Millisecond),
+		Datasets:      infos,
+		Ingests:       s.ingests.Load(),
+		JoinsServed:   s.joinsServed.Load(),
+		JoinsComputed: s.joinsComputed.Load(),
+		PageAccesses:  s.pageAccesses.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheEntries:  entries,
+		CacheEvicted:  evicted,
+		InFlight:      s.InFlight(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+	}
+}

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"cij/internal/core"
+	"cij/internal/dataset"
+	"cij/internal/geom"
+	"cij/internal/parallel"
+	"cij/internal/rtree"
+)
+
+// autoPointsPerWorker is the planner's sizing unit: roughly how many
+// joined points one worker is worth. The auto plan goes parallel once the
+// joint cardinality covers two workers and sizes the pool as
+// cardinality / autoPointsPerWorker (capped at GOMAXPROCS) — small joins
+// stay serial because partitioning and merge overhead would dominate them.
+const autoPointsPerWorker = 25_000
+
+// Plan is a resolved execution strategy for one join query.
+type Plan struct {
+	// Algo is the concrete algorithm: "nm", "pm", "fm" or "parallel".
+	Algo string `json:"algo"`
+	// Workers is the pool size when Algo is "parallel", 0 otherwise.
+	Workers int `json:"workers,omitempty"`
+}
+
+// plan maps a query onto a concrete algorithm and worker count. Explicit
+// choices are honored; "auto" (or empty) consults the dataset
+// cardinalities.
+func plan(q Query, left, right *Dataset) (Plan, error) {
+	total := len(left.Points) + len(right.Points)
+	switch q.Algo {
+	case "", "auto":
+		// An explicit worker count — including 1, a client bounding its
+		// CPU share — fixes the pool; only workers <= 0 leaves the choice
+		// to the planner.
+		if q.Workers > 0 {
+			return Plan{Algo: "parallel", Workers: clampWorkers(q.Workers)}, nil
+		}
+		if w := autoWorkers(total); w > 1 {
+			return Plan{Algo: "parallel", Workers: w}, nil
+		}
+		return Plan{Algo: "nm"}, nil
+	case "nm", "pm", "fm":
+		return Plan{Algo: q.Algo}, nil
+	case "parallel":
+		w := q.Workers
+		if w <= 0 {
+			w = autoWorkers(total)
+		}
+		return Plan{Algo: "parallel", Workers: clampWorkers(w)}, nil
+	default:
+		return Plan{}, fmt.Errorf("unknown algo %q (want nm, pm, fm, parallel or auto)", q.Algo)
+	}
+}
+
+// autoWorkers sizes a worker pool from the joint cardinality.
+func autoWorkers(totalPoints int) int {
+	return clampWorkers(totalPoints / autoPointsPerWorker)
+}
+
+// clampWorkers bounds a worker count to [1, GOMAXPROCS]: more workers than
+// cores never helps this CPU-bound kernel.
+func clampWorkers(w int) int {
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// execHooks are the streaming callbacks of one join execution. Both run on
+// the executing goroutine (the request handler's), mirroring the contract
+// of core.Options.OnPair / parallel.Options.OnPair+OnProgress.
+type execHooks struct {
+	onPair     func(core.Pair)
+	onProgress func(core.ProgressPoint)
+}
+
+// execute runs the planned join and returns the full result with its cost.
+// NM and parallel runs read the registry trees through per-request buffer
+// views; the materializing algorithms (PM/FM) write Voronoi R-trees, so
+// they get a private scratch environment — the registry's dataset disks
+// stay strictly read-only after build, which is what makes concurrent
+// queries safe.
+func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks) *cachedResult {
+	start := time.Now()
+	var res core.Result
+	var pages int64
+	switch pl.Algo {
+	case "nm":
+		rp, rq := left.View(), right.View()
+		opts := core.DefaultOptions()
+		opts.OnPair = hooks.onPair
+		res = core.NMCIJ(rp, rq, dataset.Domain, opts)
+		// The serial collector meters rp's buffer only (the single-disk
+		// setting of the paper); with per-dataset disks the request's I/O
+		// is the sum over both private views.
+		pages = rp.Buffer().Stats().PageAccesses() + rq.Buffer().Stats().PageAccesses()
+	case "parallel":
+		rp, rq := left.View(), right.View()
+		opts := parallel.DefaultOptions()
+		opts.Workers = pl.Workers
+		opts.OnPair = hooks.onPair
+		opts.OnProgress = hooks.onProgress
+		res = parallel.Join(rp, rq, dataset.Domain, opts)
+		pages = res.Stats.PageAccesses() // partition traversal + all worker forks
+	case "pm", "fm":
+		rp, rq := buildScratchEnv(left.Points, right.Points, s.cfg.BufferPct)
+		opts := core.DefaultOptions()
+		opts.OnPair = hooks.onPair
+		if pl.Algo == "pm" {
+			res = core.PMCIJ(rp, rq, dataset.Domain, opts)
+		} else {
+			res = core.FMCIJ(rp, rq, dataset.Domain, opts)
+		}
+		pages = res.Stats.PageAccesses() // MAT + JOIN on the shared scratch buffer
+	default:
+		panic("service: unplanned algo " + pl.Algo)
+	}
+	return &cachedResult{
+		Pairs: res.Pairs,
+		Count: int64(len(res.Pairs)),
+		Pages: pages,
+		CPU:   time.Since(start),
+	}
+}
+
+// buildScratchEnv bulk-loads both pointsets onto one fresh disk behind one
+// LRU buffer sized to bufferPct% of the data pages — the single-disk
+// environment the materializing algorithms expect, built per request so
+// their page writes never touch registry state.
+func buildScratchEnv(p, q []geom.Point, bufferPct float64) (rp, rq *rtree.Tree) {
+	trees := loadTrees(bufferPct, p, q)
+	return trees[0], trees[1]
+}

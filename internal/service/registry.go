@@ -1,0 +1,152 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+
+	"cij/internal/dataset"
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+)
+
+// Point aliases geom.Point so service callers (cmd/cijserver, the load
+// generator) can ingest without importing internal/geom themselves.
+type Point = geom.Point
+
+// nameRe restricts dataset names to a safe token: they are embedded in
+// cache keys and URLs.
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,64}$`)
+
+// Dataset is one registered pointset: the points, the R-tree built over
+// them at ingest time, and the private disk+buffer the tree lives on. A
+// Dataset is immutable after construction — replacing a name installs a
+// new Dataset value — so any number of queries may hold and read one
+// concurrently through forked buffer views.
+type Dataset struct {
+	Name    string
+	Version int
+	Points  []geom.Point
+	Tree    *rtree.Tree
+	// Pages is the tree's page count on its private disk.
+	Pages int
+	// BufferPages is the LRU capacity each query view forks with.
+	BufferPages int
+}
+
+// View returns a read-only handle on the dataset's tree whose I/O goes
+// through a fresh private buffer: per-request state, never shared, so
+// concurrent queries neither race on LRU bookkeeping nor pollute each
+// other's cache locality. The view's counters start at zero, which is what
+// lets the executor attribute physical I/O to one request exactly.
+func (d *Dataset) View() *rtree.Tree {
+	return d.Tree.WithBuffer(d.Tree.Buffer().Fork(d.BufferPages))
+}
+
+// Registry is the concurrent name -> Dataset map. Versions are scoped to
+// the registry, not the Dataset value: replacing a name always moves its
+// version strictly forward, which is what makes version-qualified cache
+// keys sound.
+type Registry struct {
+	bufferPct float64
+
+	mu       sync.RWMutex
+	byName   map[string]*Dataset
+	versions map[string]int
+}
+
+// NewRegistry creates an empty registry whose datasets size their query
+// buffers to bufferPct% of their data pages (the paper's experiments use
+// 2%).
+func NewRegistry(bufferPct float64) *Registry {
+	if bufferPct <= 0 {
+		bufferPct = 2
+	}
+	return &Registry{
+		bufferPct: bufferPct,
+		byName:    make(map[string]*Dataset),
+		versions:  make(map[string]int),
+	}
+}
+
+// Put indexes pts under name, replacing any previous version. The build
+// happens outside the registry lock (bulk-loading a large pointset is the
+// expensive part); only the install is serialized.
+func (r *Registry) Put(name string, pts []geom.Point) (*Dataset, error) {
+	if !nameRe.MatchString(name) {
+		return nil, fmt.Errorf("service: invalid dataset name %q (want %s)", name, nameRe)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("service: dataset %q has no points", name)
+	}
+	d := buildDataset(name, pts, r.bufferPct)
+
+	r.mu.Lock()
+	r.versions[name]++
+	d.Version = r.versions[name]
+	r.byName[name] = d
+	r.mu.Unlock()
+	return d, nil
+}
+
+// Get returns the current version of the named dataset.
+func (r *Registry) Get(name string) (*Dataset, bool) {
+	r.mu.RLock()
+	d, ok := r.byName[name]
+	r.mu.RUnlock()
+	return d, ok
+}
+
+// List returns the current datasets sorted by name.
+func (r *Registry) List() []*Dataset {
+	r.mu.RLock()
+	out := make([]*Dataset, 0, len(r.byName))
+	for _, d := range r.byName {
+		out = append(out, d)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// buildDataset bulk-loads pts into an R-tree on a fresh private disk and
+// records the page-derived buffer capacity queries will fork with.
+func buildDataset(name string, pts []geom.Point, bufferPct float64) *Dataset {
+	tree := loadTrees(bufferPct, pts)[0]
+	return &Dataset{
+		Name:        name,
+		Points:      pts,
+		Tree:        tree,
+		Pages:       tree.NumPages(),
+		BufferPages: tree.Buffer().Capacity(),
+	}
+}
+
+// loadTrees bulk-loads each pointset into an R-tree on one fresh private
+// disk. The build runs through an effectively unbounded buffer
+// (construction I/O is not what the service meters); afterwards the
+// shared buffer is sized to bufferPct% of the total data pages (at least
+// one) and cleared, so measurement starts cold. Both the registry
+// (buildDataset, one set) and the materializing algorithms' scratch
+// environment (buildScratchEnv, two sets) size through this one formula.
+func loadTrees(bufferPct float64, sets ...[]geom.Point) []*rtree.Tree {
+	disk := storage.NewDisk(storage.DefaultPageSize)
+	buf := storage.NewBuffer(disk, 1<<30)
+	trees := make([]*rtree.Tree, len(sets))
+	pages := 0
+	for i, pts := range sets {
+		trees[i] = rtree.BulkLoadPoints(buf, pts, dataset.Domain, 1)
+		pages += trees[i].NumPages()
+	}
+	capPages := int(math.Ceil(float64(pages) * bufferPct / 100))
+	if capPages < 1 {
+		capPages = 1
+	}
+	buf.SetCapacity(capPages)
+	buf.DropAll()
+	buf.ResetStats()
+	return trees
+}

@@ -1,0 +1,247 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"cij/internal/core"
+	"cij/internal/dataset"
+)
+
+// maxIngestBytes caps a CSV ingest body (~256 MB ≈ 13M "x,y" lines):
+// datasets are held in memory, so an unbounded upload is an OOM, not a
+// dataset.
+const maxIngestBytes = 256 << 20
+
+// maxJoinBodyBytes caps a join request body; a JoinRequest is a few dozen
+// bytes.
+const maxJoinBodyBytes = 1 << 20
+
+// streamFlushEvery bounds how many pair lines may sit in the response
+// buffer before an explicit flush: frequent enough that clients see pairs
+// progressively (the point of the NDJSON endpoint), rare enough that the
+// syscall cost does not dominate dense result streams.
+const streamFlushEvery = 64
+
+// Handler returns the service's HTTP mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /datasets/{name}", s.handleIngest)
+	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("POST /join", s.handleJoin)
+	mux.HandleFunc("GET /join/stream", s.handleJoinStream)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// writeJSON encodes v as the response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError reports a failure as {"error": ...}.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleIngest loads a dataset from the request: a generator spec when
+// ?gen= is present (gen=uniform|clustered|PP|SC|CE|LO|PA with n, clusters,
+// seed, scale), otherwise the body as "x,y" CSV, normalized to the
+// [0,10000]² domain like every other CSV entry point.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var pts []Point
+	if kind := r.URL.Query().Get("gen"); kind != "" {
+		spec, err := specFromQuery(r, kind)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		pts, err = spec.Generate()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		var err error
+		pts, err = dataset.ReadCSV(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		pts = dataset.Normalize(pts)
+	}
+	d, err := s.Ingest(name, pts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetInfo(d))
+}
+
+// specFromQuery parses the generator parameters of an ingest request.
+func specFromQuery(r *http.Request, kind string) (dataset.Spec, error) {
+	spec := dataset.Spec{Kind: kind}
+	q := r.URL.Query()
+	var err error
+	if spec.N, err = intParam(q.Get("n"), 0); err != nil {
+		return spec, fmt.Errorf("bad n: %v", err)
+	}
+	if spec.Clusters, err = intParam(q.Get("clusters"), 0); err != nil {
+		return spec, fmt.Errorf("bad clusters: %v", err)
+	}
+	seed, err := intParam(q.Get("seed"), 1)
+	if err != nil {
+		return spec, fmt.Errorf("bad seed: %v", err)
+	}
+	spec.Seed = int64(seed)
+	if v := q.Get("scale"); v != "" {
+		if spec.Scale, err = strconv.ParseFloat(v, 64); err != nil {
+			return spec, fmt.Errorf("bad scale: %v", err)
+		}
+	}
+	return spec, nil
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func (s *Service) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	datasets := s.reg.List()
+	infos := make([]DatasetInfo, len(datasets))
+	for i, d := range datasets {
+		infos[i] = datasetInfo(d)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleJoin is the buffered join: the full response (pairs capped at
+// TopK) in one JSON body.
+func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJoinBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad join request: %v", err)
+		return
+	}
+	if req.TopK < 0 { // the wire contract is "<= 0 returns all"
+		req.TopK = 0
+	}
+	q := Query{Left: req.Left, Right: req.Right, Algo: req.Algo, Workers: req.Workers, TopK: req.TopK}
+	out, err := s.Join(r.Context(), q, execHooks{})
+	if err != nil {
+		writeError(w, joinErrorStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out.response(req.TopK))
+}
+
+// handleJoinStream is the progressive join: NDJSON pair lines as the
+// algorithm produces them (for cache misses; hits replay from memory),
+// progress lines when the parallel engine reports them, and one summary
+// line last. Query parameters: left, right, algo, workers, topk.
+func (s *Service) handleJoinStream(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	workers, err := intParam(params.Get("workers"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad workers: %v", err)
+		return
+	}
+	topK, err := intParam(params.Get("topk"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad topk: %v", err)
+		return
+	}
+	if topK < 0 { // the wire contract is "<= 0 returns all"
+		topK = 0
+	}
+	q := Query{
+		Left:    params.Get("left"),
+		Right:   params.Get("right"),
+		Algo:    params.Get("algo"),
+		Workers: workers,
+		TopK:    topK,
+	}
+
+	// The stream must start only after validation: once a line is written
+	// the status is committed. Lines are emitted live through the hooks,
+	// so failures after the first pair surface as a truncated stream (no
+	// summary line), the standard NDJSON failure contract.
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	started := false
+	emitted := int64(0)
+	begin := func() {
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+	}
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	hooks := execHooks{
+		onPair: func(p core.Pair) {
+			if topK > 0 && emitted >= int64(topK) {
+				return
+			}
+			begin()
+			enc.Encode(StreamPair{Type: "pair", P: p.P, Q: p.Q})
+			emitted++
+			if emitted%streamFlushEvery == 0 {
+				flush()
+			}
+		},
+		onProgress: func(pt core.ProgressPoint) {
+			begin()
+			enc.Encode(StreamProgress{Type: "progress", PageAccesses: pt.PageAccesses, Pairs: pt.Pairs})
+			flush()
+		},
+	}
+	out, err := s.Join(r.Context(), q, hooks)
+	if err != nil {
+		if started {
+			return // stream already committed; truncate
+		}
+		writeError(w, joinErrorStatus(err), "%v", err)
+		return
+	}
+	if out.Cached { // replay the memoized pairs
+		begin()
+		for i, p := range out.Result.Pairs {
+			if topK > 0 && int64(i) >= int64(topK) {
+				break
+			}
+			enc.Encode(StreamPair{Type: "pair", P: p.P, Q: p.Q})
+		}
+	}
+	begin()
+	// topK -1: the pairs already went over the wire line by line; the
+	// summary must not materialize a second encoded copy of them.
+	enc.Encode(StreamSummary{Type: "summary", JoinResponse: out.response(-1)})
+	flush()
+}
+
+// joinErrorStatus maps dispatcher errors onto HTTP statuses: unknown
+// datasets and bad parameters are the client's fault.
+func joinErrorStatus(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// BufferPct sizes each dataset's LRU query buffer as a percentage of
+	// its data pages; <= 0 selects the paper's 2%.
+	BufferPct float64
+	// CacheEntries caps the result cache; < 0 disables caching, 0 selects
+	// the default (64).
+	CacheEntries int
+	// MaxConcurrent bounds the number of joins executing at once (the
+	// admission semaphore); <= 0 selects GOMAXPROCS.
+	MaxConcurrent int
+}
+
+// Service is the CIJ query service: registry + planner + result cache
+// behind one dispatcher. See the package comment for the architecture.
+type Service struct {
+	cfg   Config
+	reg   *Registry
+	cache *resultCache
+	admit chan struct{}
+	start time.Time
+
+	// Single-flight table: one entry per join computation in progress,
+	// keyed like the cache, so a burst of identical first-time queries
+	// executes once instead of once per request.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	joinsServed   atomic.Int64 // all successful joins, cache hits included
+	joinsComputed atomic.Int64 // joins that actually executed an algorithm
+	pageAccesses  atomic.Int64 // physical I/O summed over computed joins
+	ingests       atomic.Int64
+}
+
+// flight is one in-progress join computation; done closes when the leader
+// finishes, with res set unless the leader failed before executing.
+type flight struct {
+	done chan struct{}
+	res  *cachedResult
+}
+
+// New creates a service with the given configuration.
+func New(cfg Config) *Service {
+	if cfg.BufferPct <= 0 {
+		cfg.BufferPct = 2
+	}
+	switch {
+	case cfg.CacheEntries < 0:
+		cfg.CacheEntries = 0
+	case cfg.CacheEntries == 0:
+		cfg.CacheEntries = 64
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	return &Service{
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.BufferPct),
+		cache:   newResultCache(cfg.CacheEntries),
+		admit:   make(chan struct{}, cfg.MaxConcurrent),
+		flights: make(map[string]*flight),
+		start:   time.Now(),
+	}
+}
+
+// Registry exposes the dataset registry (preloading, tests).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Ingest indexes pts under name (replacing any previous version), sweeps
+// the named dataset's cached results and returns the new registry entry.
+func (s *Service) Ingest(name string, pts []Point) (*Dataset, error) {
+	d, err := s.reg.Put(name, pts)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.invalidateDataset(name)
+	s.ingests.Add(1)
+	return d, nil
+}
+
+// Query is one join request against named datasets.
+type Query struct {
+	Left  string
+	Right string
+	// Algo selects the algorithm: nm, pm, fm, parallel, or auto/empty.
+	Algo string
+	// Workers fixes the parallel pool size; <= 0 lets the planner size it
+	// from the dataset cardinalities.
+	Workers int
+	// TopK caps the pairs returned in responses; <= 0 returns all. The
+	// full result is still computed (and cached), so stats describe the
+	// complete join.
+	TopK int
+}
+
+// Outcome is the dispatcher's answer to one query: the (possibly cached)
+// full result, the plan that produced it, and the dataset versions it was
+// computed against.
+type Outcome struct {
+	Result      *cachedResult
+	Plan        Plan
+	Cached      bool
+	Left, Right *Dataset
+}
+
+// Join resolves, plans and executes one query. On a cache hit — or when
+// an identical computation is already in flight — the memoized result is
+// returned without executing anything (hooks are NOT invoked; callers
+// that stream replay the cached pairs themselves). Otherwise the join
+// runs under the admission semaphore with the hooks live, then the full
+// result is cached. ctx cancellation is honored while queued for
+// admission or waiting on another request's flight.
+func (s *Service) Join(ctx context.Context, q Query, hooks execHooks) (*Outcome, error) {
+	left, ok := s.reg.Get(q.Left)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", q.Left)
+	}
+	right, ok := s.reg.Get(q.Right)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", q.Right)
+	}
+	pl, err := plan(q, left, right)
+	if err != nil {
+		return nil, err
+	}
+
+	key := cacheKey(left, right, pl.Algo, pl.Workers)
+	if res, ok := s.cache.get(key); ok {
+		s.joinsServed.Add(1)
+		return &Outcome{Result: res, Plan: pl, Cached: true, Left: left, Right: right}, nil
+	}
+
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		// Follower: an identical join is computing right now. Wait for it
+		// rather than burning an admission slot on duplicate work.
+		s.flightMu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.res != nil {
+			s.joinsServed.Add(1)
+			return &Outcome{Result: f.res, Plan: pl, Cached: true, Left: left, Right: right}, nil
+		}
+		// The leader bailed before executing (admission cancelled);
+		// compute directly — the admission semaphore still bounds a
+		// stampede of orphaned followers.
+		return s.compute(ctx, key, pl, left, right, hooks)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+	defer func() {
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+	}()
+
+	out, err := s.compute(ctx, key, pl, left, right, hooks)
+	if err == nil {
+		f.res = out.Result
+	}
+	return out, err
+}
+
+// compute runs one planned join under the admission semaphore and records
+// it in the cache and the counters.
+func (s *Service) compute(ctx context.Context, key string, pl Plan, left, right *Dataset, hooks execHooks) (*Outcome, error) {
+	select {
+	case s.admit <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.admit }()
+
+	res := s.execute(left, right, pl, hooks)
+	s.cache.put(key, res)
+	s.joinsServed.Add(1)
+	s.joinsComputed.Add(1)
+	s.pageAccesses.Add(res.Pages)
+	return &Outcome{Result: res, Plan: pl, Left: left, Right: right}, nil
+}
+
+// InFlight reports how many joins currently hold an admission slot.
+func (s *Service) InFlight() int { return len(s.admit) }

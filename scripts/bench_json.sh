@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # bench_json.sh — run the Fig. 7 CIJ benchmarks and the parallel speedup
-# curve and write the results as JSON (default: BENCH_nmcij.json), so the
+# curve and write the results as JSON (default: BENCH_nmcij.json), then run
+# the query-service load benchmark and write BENCH_service.json — so the
 # repo accumulates a machine-readable performance trajectory alongside the
 # human-readable benchstat workflow (see README "Performance").
 #
 # Usage:
-#   scripts/bench_json.sh [out.json]
-#   BENCHTIME=5x scripts/bench_json.sh     # more iterations per bench
+#   scripts/bench_json.sh [out.json] [service_out.json]
+#   BENCHTIME=5x scripts/bench_json.sh        # more iterations per bench
+#   SERVE_SCALE=0.05 SERVE_DUR=5s scripts/bench_json.sh   # bigger serve run
 #
-# Each record carries ns/op, B/op, allocs/op and the paper-unit pages/op.
+# Each benchmark record carries ns/op, B/op, allocs/op and the paper-unit
+# pages/op; the service document carries sustained req/s and latency
+# quantiles at 1/4/16 concurrent join clients.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,3 +49,13 @@ raw=$(go test -run xxx -bench 'BenchmarkFig7_|BenchmarkParallel_SpeedupCurve' \
 } >"$out"
 
 echo "wrote $out"
+
+# Query-service throughput: sustained req/s at 1/4/16 concurrent clients
+# against an in-process server (cache off, so every request executes a
+# join). cijbench writes the JSON document itself.
+service_out=${2:-BENCH_service.json}
+go run ./cmd/cijbench -exp serve \
+	-scale "${SERVE_SCALE:-0.02}" \
+	-clients "${SERVE_CLIENTS:-1,4,16}" \
+	-serveduration "${SERVE_DUR:-2s}" \
+	-servejson "$service_out"
