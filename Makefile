@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-smoke bench-baseline bench-new benchstat bench-json scal serve smoke-server bench-service
+.PHONY: build test race vet check prop bench bench-smoke bench-baseline bench-new benchstat bench-json bench-grid scal serve smoke-server bench-service
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,16 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-check: build vet race
+check: build vet race prop
+
+# Property-based equivalence harness (internal/check): the fixed seed
+# matrix holding NM ≡ PM ≡ FM ≡ parallel ≡ grid ≡ brute, plus the
+# planner's algo-selection tests, under the race detector with a coverage
+# profile over the whole module (CI uploads coverage.out).
+prop:
+	$(GO) test -race -coverprofile=coverage.out -coverpkg=./... \
+		-run 'TestEquivalenceSeeds|TestInvariantSeeds|TestGeneratorShape|TestPlanSelection|TestIngestComputesSkew|TestConcurrentAutoAndGridJoins' \
+		./internal/check/... ./internal/service/...
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./...
@@ -47,6 +56,11 @@ benchstat:
 # and the parallel speedup curve) written to BENCH_nmcij.json.
 bench-json:
 	./scripts/bench_json.sh
+
+# Grid-vs-NM crossover at reduced scale, recorded in BENCH_grid.json
+# (also part of bench-json).
+bench-grid:
+	$(GO) run ./cmd/cijbench -exp grid -scale 0.2
 
 # Parallel scalability table at reduced scale.
 scal:

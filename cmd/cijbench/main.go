@@ -47,6 +47,7 @@ type config struct {
 	serveAddr string
 	serveDur  time.Duration
 	serveJSON string
+	gridJSON  string
 }
 
 func scaled(n int, cfg config) int {
@@ -135,6 +136,26 @@ var experiments = []experiment{
 		exp.TableFig11("Fig. 11b — exact P-cells computed vs ratio", "|Q|:|P|", rowsB).Fprint(os.Stdout)
 		return nil
 	}},
+	{"grid", "Grid in-memory backend vs NM-CIJ: wall-clock crossover by distribution", func(cfg config) error {
+		sizes := make([]int, len(exp.DefaultGridSizes))
+		for i, n := range exp.DefaultGridSizes {
+			sizes[i] = scaled(n, cfg)
+		}
+		rows := exp.RunGridCrossover(sizes, cfg.buffer, cfg.seed)
+		exp.TableGrid(rows).Fprint(os.Stdout)
+		if cfg.gridJSON != "" {
+			f, err := os.Create(cfg.gridJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := exp.WriteGridJSON(f, rows, cfg.scale); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", cfg.gridJSON)
+		}
+		return nil
+	}},
 	{"scal", "Parallel NM-CIJ: wall-clock speedup vs worker count", func(cfg config) error {
 		rows := exp.RunScalability(scaled(100_000, cfg), cfg.workers, cfg.seed)
 		exp.TableScal(rows).Fprint(os.Stdout)
@@ -206,6 +227,7 @@ func main() {
 		serveAddr  = flag.String("serveaddr", "", "serve experiment: target a running cijserver instead of an in-process one")
 		serveDur   = flag.Duration("serveduration", 2*time.Second, "serve experiment: duration per concurrency level")
 		serveJSON  = flag.String("servejson", "", "serve experiment: also write rows as JSON to `file` (BENCH_service.json)")
+		gridJSON   = flag.String("gridjson", "BENCH_grid.json", "grid experiment: write crossover rows as JSON to `file` (empty disables)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file` (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file` (go tool pprof)")
@@ -257,6 +279,7 @@ func main() {
 	cfg := config{
 		scale: *scale, seed: *seed, buffer: *buffer, workers: workerCounts,
 		clients: clientCounts, serveAddr: *serveAddr, serveDur: *serveDur, serveJSON: *serveJSON,
+		gridJSON: *gridJSON,
 	}
 	code := runExperiments(*expName, cfg)
 

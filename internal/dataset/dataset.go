@@ -81,21 +81,11 @@ func Clustered(n, clusters int, seed int64) []geom.Point {
 		}
 		c := cs[k]
 		pts[i] = geom.Pt(
-			clamp(c.center.X+rng.NormFloat64()*c.spread, 0, Domain.MaxX),
-			clamp(c.center.Y+rng.NormFloat64()*c.spread, 0, Domain.MaxY),
+			geom.Clamp(c.center.X+rng.NormFloat64()*c.spread, 0, Domain.MaxX),
+			geom.Clamp(c.center.Y+rng.NormFloat64()*c.spread, 0, Domain.MaxY),
 		)
 	}
 	return pts
-}
-
-func clamp(v, lo, hi float64) float64 {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
 }
 
 // RealDataset names one of the five geonames datasets of Table I.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -207,7 +208,7 @@ func TableServe(rows []ServeRow) Table {
 
 // WriteServeJSON writes the serve rows as the BENCH_service.json document:
 // one record per concurrency level plus run metadata.
-func WriteServeJSON(w interface{ Write([]byte) (int, error) }, rows []ServeRow, scale float64) error {
+func WriteServeJSON(w io.Writer, rows []ServeRow, scale float64) error {
 	doc := struct {
 		Date  string     `json:"date"`
 		Scale float64    `json:"scale"`

@@ -62,6 +62,20 @@ func (p Point) Eq(q Point) bool {
 // String implements fmt.Stringer.
 func (p Point) String() string { return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y) }
 
+// Clamp bounds v to [lo, hi]. It is the shared scalar clamp of the
+// module's generators and tests (dataset synthesis, the check harness,
+// the grid experiments), so tolerance or NaN-handling changes happen in
+// one place.
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // Centroid returns the arithmetic mean of pts. It panics on an empty slice:
 // every caller in this module groups at least one point.
 func Centroid(pts []Point) Point {

@@ -1,0 +1,241 @@
+package grid
+
+import (
+	"math"
+
+	"cij/internal/geom"
+	"cij/internal/voronoi"
+)
+
+// cellInfo is one computed Voronoi cell as the join phase consumes it: the
+// site, its exact cell (vertices owned by the diagram arena) and the
+// cell's MBR, precomputed because the partitioned join reads it many times
+// (replication, the per-pair prefilter, the dedup reference point).
+type cellInfo struct {
+	site   voronoi.Site
+	poly   geom.Polygon
+	bounds geom.Rect
+}
+
+// buckets is a CSR layout of site indices grouped by tile: the sites of
+// tile t are ids[start[t]:start[t+1]]. Built with a counting sort — two
+// passes, no per-tile slice headers.
+type buckets struct {
+	start []int32
+	ids   []int32
+}
+
+// bucketSites groups sites by their grid tile.
+func bucketSites(sites []voronoi.Site, g tileGrid) buckets {
+	b := buckets{
+		start: make([]int32, g.tiles()+1),
+		ids:   make([]int32, len(sites)),
+	}
+	for i := range sites {
+		b.start[g.tileOf(sites[i].Pt)+1]++
+	}
+	for t := 1; t < len(b.start); t++ {
+		b.start[t] += b.start[t-1]
+	}
+	next := append([]int32(nil), b.start[:g.tiles()]...)
+	for i := range sites {
+		t := g.tileOf(sites[i].Pt)
+		b.ids[next[t]] = int32(i)
+		next[t]++
+	}
+	return b
+}
+
+// diagramScratch is the reusable state of grid diagram computation,
+// mirroring voronoi.Workspace for the tree traversals: one clipper and one
+// circumradius per batch member, reused across tiles so the steady-state
+// loop allocates only when a tile exceeds every previous tile's occupancy.
+// Finished cells are copied into the arena (a grow-only vertex store; a
+// growth reallocation strands the old backing array, which previously
+// placed polygons keep alive, so placements never move).
+type diagramScratch struct {
+	clips []geom.Clipper
+	cells []geom.Polygon
+	rad2  []float64
+	done  []bool
+	arena []geom.Point
+}
+
+// ensure grows the per-member pools to at least n entries.
+func (ds *diagramScratch) ensure(n int) {
+	for len(ds.clips) < n {
+		ds.clips = append(ds.clips, geom.Clipper{})
+	}
+	for cap(ds.cells) < n {
+		ds.cells = append(ds.cells[:cap(ds.cells)], geom.Polygon{})
+	}
+	ds.cells = ds.cells[:cap(ds.cells)]
+	for cap(ds.rad2) < n {
+		ds.rad2 = append(ds.rad2[:cap(ds.rad2)], 0)
+	}
+	ds.rad2 = ds.rad2[:cap(ds.rad2)]
+	for cap(ds.done) < n {
+		ds.done = append(ds.done[:cap(ds.done)], false)
+	}
+	ds.done = ds.done[:cap(ds.done)]
+}
+
+// place copies a vertex ring into the arena and returns the arena-owned
+// copy, capped so later placements cannot overwrite it.
+func (ds *diagramScratch) place(vs []geom.Point) []geom.Point {
+	n := len(ds.arena)
+	ds.arena = append(ds.arena, vs...)
+	return ds.arena[n:len(ds.arena):len(ds.arena)]
+}
+
+// buildDiagram computes the exact Voronoi cell of every site with the
+// uniform-grid analogue of the paper's batch algorithm (Algorithm 2): the
+// sites of each tile form one batch whose cells are refined concurrently
+// while tiles are visited in rings of increasing Chebyshev distance from
+// the batch's home tile — the grid replacement for the best-first R-tree
+// traversal. Pruning reuses the exact lemmas of the tree algorithms:
+// voronoi.CanRefineMBR skips a whole tile (Lemma 2 with the tile rectangle
+// as the MBR), voronoi.CanRefinePoint skips individual sites (Lemma 1),
+// and the ring loop stops for a member as soon as every unvisited tile
+// lies at least twice the member's circumradius away — the same triangle
+// inequality that powers the tree prefilter, so both architectures clip
+// exactly the same refining sites and produce the same cells.
+//
+// The returned cells are indexed by site position and own their vertices
+// (in ds.arena); ds is reusable across calls.
+func buildDiagram(sites []voronoi.Site, g tileGrid, ds *diagramScratch) []cellInfo {
+	out := make([]cellInfo, len(sites))
+	if len(sites) == 0 {
+		return out
+	}
+	b := bucketSites(sites, g)
+
+	for ty := 0; ty < g.ny; ty++ {
+		for tx := 0; tx < g.nx; tx++ {
+			home := ty*g.nx + tx
+			members := b.ids[b.start[home]:b.start[home+1]]
+			if len(members) == 0 {
+				continue
+			}
+			ds.refineBatch(sites, b, g, tx, ty, members)
+			for mi, idx := range members {
+				poly := geom.Polygon{V: ds.place(ds.cells[mi].V)}
+				out[idx] = cellInfo{site: sites[idx], poly: poly, bounds: poly.Bounds()}
+			}
+		}
+	}
+	return out
+}
+
+// refineBatch computes the cells of one tile's members into ds.cells,
+// expanding rings of tiles around (tx, ty) until every member's cell is
+// certified final.
+func (ds *diagramScratch) refineBatch(sites []voronoi.Site, b buckets, g tileGrid, tx, ty int, members []int32) {
+	ds.ensure(len(members))
+	remaining := len(members)
+	for mi, idx := range members {
+		s := sites[idx]
+		ds.cells[mi] = ds.clips[mi].Seed(g.domain)
+		ds.rad2[mi] = geom.MaxDist2(ds.cells[mi].V, s.Pt)
+		ds.done[mi] = false
+	}
+
+	for d := 0; remaining > 0; d++ {
+		// Visit the ring of tiles at Chebyshev distance d from home: the
+		// bottom and top rows in full, the side columns without the corners
+		// already covered by the rows.
+		if d == 0 {
+			ds.scanTile(sites, b, g, tx, ty, members)
+		} else {
+			for _, iy := range [2]int{ty - d, ty + d} {
+				if iy < 0 || iy >= g.ny {
+					continue
+				}
+				for ix := max(tx-d, 0); ix <= min(tx+d, g.nx-1); ix++ {
+					ds.scanTile(sites, b, g, ix, iy, members)
+				}
+			}
+			for _, ix := range [2]int{tx - d, tx + d} {
+				if ix < 0 || ix >= g.nx {
+					continue
+				}
+				for iy := max(ty-d+1, 0); iy <= min(ty+d-1, g.ny-1); iy++ {
+					ds.scanTile(sites, b, g, ix, iy, members)
+				}
+			}
+		}
+
+		// Termination: all unvisited sites lie outside the visited block
+		// of tiles (rings 0..d). A member is final once the nearest face
+		// of that block's complement is at least twice its circumradius
+		// away — beyond it, Lemma 1's prefilter rejects every site.
+		leftOpen, rightOpen := tx-d > 0, tx+d < g.nx-1
+		botOpen, topOpen := ty-d > 0, ty+d < g.ny-1
+		if !leftOpen && !rightOpen && !botOpen && !topOpen {
+			break // the block covers the whole grid: nothing is unvisited
+		}
+		for mi, idx := range members {
+			if ds.done[mi] {
+				continue
+			}
+			s := sites[idx].Pt
+			gap := math.Inf(1)
+			if leftOpen {
+				gap = math.Min(gap, s.X-(g.domain.MinX+float64(tx-d)*g.cw))
+			}
+			if rightOpen {
+				gap = math.Min(gap, g.domain.MinX+float64(tx+d+1)*g.cw-s.X)
+			}
+			if botOpen {
+				gap = math.Min(gap, s.Y-(g.domain.MinY+float64(ty-d)*g.ch))
+			}
+			if topOpen {
+				gap = math.Min(gap, g.domain.MinY+float64(ty+d+1)*g.ch-s.Y)
+			}
+			gap -= tilePad // bucketing round-off slack
+			if gap >= 0 && gap*gap >= 4*ds.rad2[mi] {
+				ds.done[mi] = true
+				remaining--
+			}
+		}
+	}
+}
+
+// scanTile clips every undone member's cell by the refining sites of tile
+// (ix, iy).
+func (ds *diagramScratch) scanTile(sites []voronoi.Site, b buckets, g tileGrid, ix, iy int, members []int32) {
+	t := iy*g.nx + ix
+	pts := b.ids[b.start[t]:b.start[t+1]]
+	if len(pts) == 0 {
+		return
+	}
+	// Lemma 2 on the tile rectangle: skip the whole tile unless it could
+	// refine some undone member.
+	trect := g.tileRect(ix, iy)
+	refinesAny := false
+	for mi, idx := range members {
+		if !ds.done[mi] && voronoi.CanRefineMBR(ds.cells[mi].V, sites[idx].Pt, trect, ds.rad2[mi]) {
+			refinesAny = true
+			break
+		}
+	}
+	if !refinesAny {
+		return
+	}
+	for _, pj := range pts {
+		sj := sites[pj]
+		for mi, idx := range members {
+			if ds.done[mi] {
+				continue
+			}
+			si := sites[idx]
+			if sj.ID == si.ID {
+				continue
+			}
+			if voronoi.CanRefinePoint(ds.cells[mi].V, si.Pt, sj.Pt, ds.rad2[mi]) {
+				ds.cells[mi] = ds.clips[mi].Clip(ds.cells[mi], geom.Bisector(si.Pt, sj.Pt))
+				ds.rad2[mi] = geom.MaxDist2(ds.cells[mi].V, si.Pt)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"cij/internal/core"
+	"cij/internal/dataset"
+	"cij/internal/geom"
+)
+
+// runBoth computes the grid join and the brute-force oracle on the same
+// inputs and fails the test unless the pair sets agree.
+func requireMatchesBrute(t *testing.T, name string, p, q []geom.Point, opts Options) core.Result {
+	t.Helper()
+	res := Join(p, q, dataset.Domain, opts)
+	want := core.BruteCIJ(p, q, dataset.Domain)
+	if !core.SamePairs(res.Pairs, want) {
+		t.Fatalf("%s: grid=%d pairs brute=%d pairs\nmissing=%v\nextra=%v",
+			name, len(res.Pairs), len(want),
+			core.DiffPairs(want, res.Pairs), core.DiffPairs(res.Pairs, want))
+	}
+	return res
+}
+
+func TestJoinMatchesBruteUniform(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 150, 600} {
+		p := dataset.Uniform(n, int64(n))
+		q := dataset.Uniform(n, int64(n)+1000)
+		requireMatchesBrute(t, "uniform", p, q, DefaultOptions())
+	}
+}
+
+func TestJoinMatchesBruteClustered(t *testing.T) {
+	p := dataset.Clustered(400, 7, 11)
+	q := dataset.Clustered(500, 5, 12)
+	requireMatchesBrute(t, "clustered", p, q, DefaultOptions())
+}
+
+func TestJoinAsymmetricCardinalities(t *testing.T) {
+	p := dataset.Uniform(800, 21)
+	q := dataset.Uniform(50, 22)
+	requireMatchesBrute(t, "800x50", p, q, DefaultOptions())
+	requireMatchesBrute(t, "50x800", q, p, DefaultOptions())
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	p := dataset.Uniform(10, 1)
+	if res := Join(nil, p, dataset.Domain, DefaultOptions()); len(res.Pairs) != 0 {
+		t.Fatalf("empty P joined %d pairs", len(res.Pairs))
+	}
+	if res := Join(p, nil, dataset.Domain, DefaultOptions()); len(res.Pairs) != 0 {
+		t.Fatalf("empty Q joined %d pairs", len(res.Pairs))
+	}
+}
+
+// TestDedupBoundaryStraddlers is the regression test for the PBSM
+// reference-point rule: points are planted right next to tile boundary
+// lines at a forced-fine resolution, so nearly every Voronoi cell MBR is
+// replicated into several tiles, and any dedup defect shows up as a
+// duplicated (or missing) pair in the emitted multiset.
+func TestDedupBoundaryStraddlers(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	g := newTileGrid(dataset.Domain, 256, 1) // the resolution a 256-point set gets at TargetPerCell 1
+	var p, q []geom.Point
+	for i := 0; i < 128; i++ {
+		// A point a hair away from a random vertical tile line, and one
+		// near a horizontal line; the cell around each straddles the line.
+		lineX := dataset.Domain.MinX + float64(rng.Intn(g.nx))*g.cw
+		lineY := dataset.Domain.MinY + float64(rng.Intn(g.ny))*g.ch
+		off := (rng.Float64() - 0.5) * g.cw * 0.01
+		p = append(p, geom.Pt(geom.Clamp(lineX+off, dataset.Domain.MinX, dataset.Domain.MaxX), rng.Float64()*dataset.Domain.MaxY))
+		q = append(q, geom.Pt(rng.Float64()*dataset.Domain.MaxX, geom.Clamp(lineY+off, dataset.Domain.MinY, dataset.Domain.MaxY)))
+	}
+
+	opts := Options{TargetPerCell: 1, CollectPairs: true}
+	var emitted []core.Pair
+	opts.OnPair = func(pr core.Pair) { emitted = append(emitted, pr) }
+	res := requireMatchesBrute(t, "straddlers", p, q, opts)
+
+	seen := make(map[core.Pair]int)
+	for _, pr := range emitted {
+		seen[pr]++
+		if seen[pr] > 1 {
+			t.Fatalf("pair %v emitted %d times: dedup failed", pr, seen[pr])
+		}
+	}
+	if len(emitted) != len(res.Pairs) {
+		t.Fatalf("OnPair saw %d pairs, Result.Pairs has %d", len(emitted), len(res.Pairs))
+	}
+}
+
+// TestResolutionIndependence pins the documented contract that the pair
+// set does not depend on the grid resolution: replication and dedup must
+// hide the partitioning entirely.
+func TestResolutionIndependence(t *testing.T) {
+	p := dataset.Clustered(300, 6, 31)
+	q := dataset.Uniform(300, 32)
+	base := Join(p, q, dataset.Domain, DefaultOptions())
+	for _, target := range []int{1, 7, 500} {
+		res := Join(p, q, dataset.Domain, Options{TargetPerCell: target, CollectPairs: true})
+		if !core.SamePairs(base.Pairs, res.Pairs) {
+			t.Fatalf("target %d: %d pairs, default resolution %d", target, len(res.Pairs), len(base.Pairs))
+		}
+	}
+}
+
+func TestDuplicateAndCollinearPoints(t *testing.T) {
+	p := dataset.Uniform(60, 77)
+	p = append(p, p[:10]...) // exact duplicates within the set
+	var q []geom.Point
+	for i := 0; i < 40; i++ { // collinear run straight across the domain
+		q = append(q, geom.Pt(250*float64(i)+100, 5000))
+	}
+	q = append(q, p[5]) // duplicate across sets
+	requireMatchesBrute(t, "dups+collinear", p, q, DefaultOptions())
+}
+
+func TestSkewEstimate(t *testing.T) {
+	uni := SkewEstimate(dataset.Uniform(20000, 9), dataset.Domain)
+	if uni > 1.5 {
+		t.Fatalf("uniform skew estimate %.2f, want ~1", uni)
+	}
+	clu := SkewEstimate(dataset.Clustered(20000, 12, 9), dataset.Domain)
+	if clu < 3 {
+		t.Fatalf("clustered skew estimate %.2f, want >> 1", clu)
+	}
+	if got := SkewEstimate(nil, dataset.Domain); got != 0 {
+		t.Fatalf("empty skew = %v, want 0", got)
+	}
+}
+
+func BenchmarkGridJoinUniform(b *testing.B) {
+	p := dataset.Uniform(20000, 1)
+	q := dataset.Uniform(20000, 2)
+	opts := Options{} // count only
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(p, q, dataset.Domain, opts)
+	}
+}

@@ -22,16 +22,19 @@
 //
 //   - Planner/dispatcher (planner.go): maps a Query {left, right, algo,
 //     workers, topk} onto an execution plan. An explicit algo ("nm", "pm",
-//     "fm", "parallel") is honored; "auto" (or empty) picks the parallel
-//     partitioned engine when the joint cardinality is large enough to
-//     amortize its fan-out and serial NM-CIJ otherwise, sizing the worker
-//     pool from dataset cardinalities when the query does not fix it. The
-//     materializing algorithms (PM/FM) write Voronoi R-trees, so they run
-//     in a per-request scratch environment (their own disk) instead of the
-//     registry's read-only disks. A bounded admission semaphore caps the
-//     number of joins executing at once: excess requests queue (FIFO on a
-//     channel) instead of thrashing the machine, and /stats reports the
-//     in-flight count.
+//     "fm", "parallel", "grid") is honored; "auto" (or empty) routes on
+//     cardinality and density: the parallel partitioned engine when the
+//     joint cardinality is large enough to amortize its fan-out (sizing
+//     the worker pool from dataset cardinalities when the query does not
+//     fix it), otherwise the in-memory grid backend (internal/grid, zero
+//     I/O) when both datasets' ingest-time skew statistics say the
+//     uniform tiling will hold up, and serial NM-CIJ for skewed serial
+//     joins. The materializing algorithms (PM/FM) write Voronoi R-trees,
+//     so they run in a per-request scratch environment (their own disk)
+//     instead of the registry's read-only disks. A bounded admission
+//     semaphore caps the number of joins executing at once: excess
+//     requests queue (FIFO on a channel) instead of thrashing the
+//     machine, and /stats reports the in-flight count.
 //
 //   - Result cache (cache.go): a versioned LRU keyed by
 //     (left@ver, right@ver, algo, workers). Because dataset versions are

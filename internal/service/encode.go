@@ -123,17 +123,20 @@ type StreamSummary struct {
 	JoinResponse
 }
 
-// DatasetInfo describes one registry entry in /datasets and /stats.
+// DatasetInfo describes one registry entry in /datasets and /stats. Skew
+// is the ingest-time density statistic the auto planner routes on, so a
+// client can predict (and debug) algorithm selection.
 type DatasetInfo struct {
-	Name    string `json:"name"`
-	Version int    `json:"version"`
-	Points  int    `json:"points"`
-	Pages   int    `json:"pages"`
+	Name    string  `json:"name"`
+	Version int     `json:"version"`
+	Points  int     `json:"points"`
+	Pages   int     `json:"pages"`
+	Skew    float64 `json:"skew"`
 }
 
 // datasetInfo converts a registry entry to its wire form.
 func datasetInfo(d *Dataset) DatasetInfo {
-	return DatasetInfo{Name: d.Name, Version: d.Version, Points: len(d.Points), Pages: d.Pages}
+	return DatasetInfo{Name: d.Name, Version: d.Version, Points: len(d.Points), Pages: d.Pages, Skew: d.Skew}
 }
 
 // StatsResponse is the body of GET /stats.

@@ -8,6 +8,7 @@ import (
 	"cij/internal/core"
 	"cij/internal/dataset"
 	"cij/internal/geom"
+	"cij/internal/grid"
 	"cij/internal/parallel"
 	"cij/internal/rtree"
 )
@@ -19,9 +20,26 @@ import (
 // stay serial because partitioning and merge overhead would dominate them.
 const autoPointsPerWorker = 25_000
 
+// autoGridSkewMax is the density gate of the serial-range auto plan: a
+// join goes to the in-memory grid backend only when BOTH datasets'
+// Poisson-normalized skew estimates (grid.SkewEstimate, ~1 for uniform
+// data, computed once at ingest) stay below this bound. Above it the
+// uniform tiling degenerates — single tiles hold thousands of points and
+// the per-tile loops go quadratic — so extremely skewed serial joins
+// route to NM-CIJ, whose R-tree adapts to density. The bound is
+// measurement-anchored (cijbench -exp grid, BENCH_grid.json): ordinary
+// clustered data (skew 10–20) beats NM on wall clock by 2–17×, while in
+// the point-mass series the advantage collapses (skew ≈ 45: only
+// 1.2–1.7×) and inverts at the largest size (skew ≈ 103: 0.72×, and
+// worsening with n as the hot tiles go quadratic). The gate sits below
+// the collapse, conservatively trading a mild win in the 33–45 band for
+// never landing in the inverted regime.
+const autoGridSkewMax = 32
+
 // Plan is a resolved execution strategy for one join query.
 type Plan struct {
-	// Algo is the concrete algorithm: "nm", "pm", "fm" or "parallel".
+	// Algo is the concrete algorithm: "nm", "pm", "fm", "parallel" or
+	// "grid".
 	Algo string `json:"algo"`
 	// Workers is the pool size when Algo is "parallel", 0 otherwise.
 	Workers int `json:"workers,omitempty"`
@@ -29,7 +47,10 @@ type Plan struct {
 
 // plan maps a query onto a concrete algorithm and worker count. Explicit
 // choices are honored; "auto" (or empty) consults the dataset
-// cardinalities.
+// cardinalities and density statistics: large joins go to the parallel
+// partitioned engine, small-to-medium joins go to the in-memory grid
+// backend when both inputs are near-uniform, and skewed serial joins fall
+// back to NM-CIJ.
 func plan(q Query, left, right *Dataset) (Plan, error) {
 	total := len(left.Points) + len(right.Points)
 	switch q.Algo {
@@ -43,8 +64,11 @@ func plan(q Query, left, right *Dataset) (Plan, error) {
 		if w := autoWorkers(total); w > 1 {
 			return Plan{Algo: "parallel", Workers: w}, nil
 		}
+		if left.Skew <= autoGridSkewMax && right.Skew <= autoGridSkewMax {
+			return Plan{Algo: "grid"}, nil
+		}
 		return Plan{Algo: "nm"}, nil
-	case "nm", "pm", "fm":
+	case "nm", "pm", "fm", "grid":
 		return Plan{Algo: q.Algo}, nil
 	case "parallel":
 		w := q.Workers
@@ -53,7 +77,7 @@ func plan(q Query, left, right *Dataset) (Plan, error) {
 		}
 		return Plan{Algo: "parallel", Workers: clampWorkers(w)}, nil
 	default:
-		return Plan{}, fmt.Errorf("unknown algo %q (want nm, pm, fm, parallel or auto)", q.Algo)
+		return Plan{}, fmt.Errorf("unknown algo %q (want nm, pm, fm, parallel, grid or auto)", q.Algo)
 	}
 }
 
@@ -93,6 +117,12 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks) *cache
 	var res core.Result
 	var pages int64
 	switch pl.Algo {
+	case "grid":
+		// The in-memory backend joins the raw pointsets: no tree view, no
+		// buffer fork, no pages — its physical I/O is genuinely zero.
+		opts := grid.DefaultOptions()
+		opts.OnPair = hooks.onPair
+		res = grid.Join(left.Points, right.Points, dataset.Domain, opts)
 	case "nm":
 		rp, rq := left.View(), right.View()
 		opts := core.DefaultOptions()

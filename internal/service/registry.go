@@ -9,6 +9,7 @@ import (
 
 	"cij/internal/dataset"
 	"cij/internal/geom"
+	"cij/internal/grid"
 	"cij/internal/rtree"
 	"cij/internal/storage"
 )
@@ -35,6 +36,10 @@ type Dataset struct {
 	Pages int
 	// BufferPages is the LRU capacity each query view forks with.
 	BufferPages int
+	// Skew is the dataset's spatial-skew statistic (grid.SkewEstimate,
+	// ~1 for uniform data), computed once at ingest; the planner's auto
+	// mode reads it to decide whether a serial join is grid-friendly.
+	Skew float64
 }
 
 // View returns a read-only handle on the dataset's tree whose I/O goes
@@ -122,6 +127,7 @@ func buildDataset(name string, pts []geom.Point, bufferPct float64) *Dataset {
 		Tree:        tree,
 		Pages:       tree.NumPages(),
 		BufferPages: tree.Buffer().Capacity(),
+		Skew:        grid.SkewEstimate(pts, dataset.Domain),
 	}
 }
 

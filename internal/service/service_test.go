@@ -161,7 +161,7 @@ func TestJoinEquivalence(t *testing.T) {
 		want := serialReference(t, p, q)
 		_, buffered := newTestServer(t, service.Config{}, p, q)
 		_, streaming := newTestServer(t, service.Config{CacheEntries: -1}, p, q)
-		for _, algo := range []string{"nm", "pm", "fm", "parallel"} {
+		for _, algo := range []string{"nm", "pm", "fm", "parallel", "grid"} {
 			jr := postJoin(t, buffered, service.JoinRequest{Left: "p", Right: "q", Algo: algo, Workers: 2})
 			if jr.Cached {
 				t.Fatalf("%s/%s: first join reported cached", dist, algo)
@@ -279,12 +279,13 @@ func TestTopK(t *testing.T) {
 }
 
 // TestPlannerSelection checks the auto plan through the response: small
-// joins stay serial, an explicit worker count goes parallel.
+// near-uniform joins go to the in-memory grid backend, an explicit worker
+// count goes parallel.
 func TestPlannerSelection(t *testing.T) {
 	p, q := dataset.Uniform(200, 61), dataset.Uniform(200, 62)
 	_, ts := newTestServer(t, service.Config{}, p, q)
-	if jr := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q"}); jr.Algo != "nm" {
-		t.Fatalf("auto plan on small join = %q, want nm", jr.Algo)
+	if jr := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q"}); jr.Algo != "grid" {
+		t.Fatalf("auto plan on small uniform join = %q, want grid", jr.Algo)
 	}
 	jr := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Workers: 2})
 	if jr.Algo != "parallel" {

@@ -37,7 +37,7 @@ type Cell struct {
 	Poly geom.Polygon
 }
 
-// canRefinePoint reports whether point pj could still refine a cell of pi
+// CanRefinePoint reports whether point pj could still refine a cell of pi
 // with vertex set vertices and squared circumradius rad2 around pi. It is
 // the negation of the pruning condition of Lemma 1 — refinement is
 // possible iff there EXISTS a vertex γ with dist(pj, γ) < dist(γ, pi) —
@@ -45,7 +45,13 @@ type Cell struct {
 // dist(pj, γ) ≥ dist(pi, pj) − dist(pi, γ), so when dist(pi, pj) ≥ 2·R
 // (with R = max dist(pi, γ)) no vertex can be strictly closer to pj and
 // the per-vertex scan is skipped entirely.
-func canRefinePoint(vertices []geom.Point, pi, pj geom.Point, rad2 float64) bool {
+//
+// The predicate is exported because it is the correctness foundation of
+// every cell computation in this module: the R-tree traversals here prune
+// with it, and the uniform-grid backend (internal/grid) applies the same
+// test to grid tiles and their points, so both architectures skip exactly
+// the same class of non-refining sites.
+func CanRefinePoint(vertices []geom.Point, pi, pj geom.Point, rad2 float64) bool {
 	if pi.Dist2(pj) >= 4*rad2 {
 		return false
 	}
@@ -57,11 +63,12 @@ func canRefinePoint(vertices []geom.Point, pi, pj geom.Point, rad2 float64) bool
 	return false
 }
 
-// canRefineMBR is the subtree form of the test (Lemma 2): a point below an
-// entry with rectangle r could refine the cell iff some vertex γ has
-// mindist(r, γ) < dist(γ, pi). The same triangle-inequality prefilter
-// applies with mindist(r, pi) in place of dist(pi, pj).
-func canRefineMBR(vertices []geom.Point, pi geom.Point, r geom.Rect, rad2 float64) bool {
+// CanRefineMBR is the rectangle form of the test (Lemma 2): a point inside
+// rectangle r — an R-tree entry's MBR, or a grid tile — could refine the
+// cell iff some vertex γ has mindist(r, γ) < dist(γ, pi). The same
+// triangle-inequality prefilter applies with mindist(r, pi) in place of
+// dist(pi, pj).
+func CanRefineMBR(vertices []geom.Point, pi geom.Point, r geom.Rect, rad2 float64) bool {
 	if r.MinDist2(pi) >= 4*rad2 {
 		return false
 	}
@@ -76,7 +83,7 @@ func canRefineMBR(vertices []geom.Point, pi geom.Point, r geom.Rect, rad2 float6
 // Workspace holds the reusable state of the best-first cell computations:
 // the typed priority queue driving the traversal, per-cell clipping
 // buffers for the refinements, and the per-cell circumradii that power the
-// O(1) refinement prune (see canRefinePoint). The zero value is ready for
+// O(1) refinement prune (see CanRefinePoint). The zero value is ready for
 // use. Reusing one workspace across calls (one per pipeline, one per
 // worker) makes the traversals allocation-free after the first few
 // batches.
@@ -124,14 +131,14 @@ func (ws *Workspace) BFVor(t *rtree.Tree, pi Site, domain geom.Rect) geom.Polygo
 			}
 			// Lemma 1: pj refines only if some vertex is closer to pj than
 			// to pi.
-			if canRefinePoint(cell.V, pi.Pt, e.Pt, rad2) {
+			if CanRefinePoint(cell.V, pi.Pt, e.Pt, rad2) {
 				cell = cl.Clip(cell, geom.Bisector(pi.Pt, e.Pt))
 				rad2 = geom.MaxDist2(cell.V, pi.Pt)
 			}
 			continue
 		}
 		// Lemma 2 pruning for subtrees.
-		if !canRefineMBR(cell.V, pi.Pt, e.MBR, rad2) {
+		if !CanRefineMBR(cell.V, pi.Pt, e.MBR, rad2) {
 			continue
 		}
 		q.PushNode(t.ReadNode(e.Child), pi.Pt)
@@ -181,7 +188,7 @@ func (ws *Workspace) BatchVoronoi(t *rtree.Tree, group []Site, domain geom.Rect,
 				if e.ID == c.Site.ID {
 					continue
 				}
-				if canRefinePoint(c.Poly.V, c.Site.Pt, e.Pt, ws.rad2[i]) {
+				if CanRefinePoint(c.Poly.V, c.Site.Pt, e.Pt, ws.rad2[i]) {
 					c.Poly = ws.clips[i].Clip(c.Poly, geom.Bisector(c.Site.Pt, e.Pt))
 					ws.rad2[i] = geom.MaxDist2(c.Poly.V, c.Site.Pt)
 				}
@@ -190,7 +197,7 @@ func (ws *Workspace) BatchVoronoi(t *rtree.Tree, group []Site, domain geom.Rect,
 		}
 		refinesAny := false
 		for i := range cells {
-			if canRefineMBR(cells[i].Poly.V, cells[i].Site.Pt, e.MBR, ws.rad2[i]) {
+			if CanRefineMBR(cells[i].Poly.V, cells[i].Site.Pt, e.MBR, ws.rad2[i]) {
 				refinesAny = true
 				break
 			}

@@ -6,21 +6,32 @@
 # human-readable benchstat workflow (see README "Performance").
 #
 # Usage:
-#   scripts/bench_json.sh [out.json] [service_out.json]
+#   scripts/bench_json.sh [out.json] [service_out.json] [grid_out.json]
 #   BENCHTIME=5x scripts/bench_json.sh        # more iterations per bench
 #   SERVE_SCALE=0.05 SERVE_DUR=5s scripts/bench_json.sh   # bigger serve run
+#   GRID_SCALE=0.5 scripts/bench_json.sh                  # bigger grid sweep
 #
 # Each benchmark record carries ns/op, B/op, allocs/op and the paper-unit
 # pages/op; the service document carries sustained req/s and latency
-# quantiles at 1/4/16 concurrent join clients.
+# quantiles at 1/4/16 concurrent join clients; the grid document carries
+# the grid-vs-NM wall-clock crossover per distribution.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_nmcij.json}
 benchtime=${BENCHTIME:-3x}
+bench_filter='BenchmarkFig7_|BenchmarkParallel_SpeedupCurve'
 
-raw=$(go test -run xxx -bench 'BenchmarkFig7_|BenchmarkParallel_SpeedupCurve' \
+raw=$(go test -run xxx -bench "$bench_filter" \
 	-benchmem -benchtime "$benchtime" .)
+
+# A filter that matches nothing (renamed benchmarks, typo'd override)
+# would silently produce an empty document that looks like a recorded
+# regression-to-zero. Refuse to write it.
+if ! grep -q '^Benchmark' <<<"$raw"; then
+	echo "bench_json.sh: benchmark filter '$bench_filter' matched no benchmarks; refusing to write an empty $out" >&2
+	exit 1
+fi
 
 {
 	printf '{\n'
@@ -59,3 +70,10 @@ go run ./cmd/cijbench -exp serve \
 	-clients "${SERVE_CLIENTS:-1,4,16}" \
 	-serveduration "${SERVE_DUR:-2s}" \
 	-servejson "$service_out"
+
+# Grid-vs-NM crossover: the in-memory backend against serial NM-CIJ on
+# uniform and clustered data. cijbench writes the JSON document itself.
+grid_out=${3:-BENCH_grid.json}
+go run ./cmd/cijbench -exp grid \
+	-scale "${GRID_SCALE:-0.2}" \
+	-gridjson "$grid_out"

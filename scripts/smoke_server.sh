@@ -47,8 +47,18 @@ curl -sf "$base/join/stream?left=a&right=b&algo=parallel&workers=2&topk=5" \
   exit 1
 }
 
-curl -sf "$base/stats" | grep -q '"joins_served":3' || {
-  echo "stats did not report 3 joins served"
+# The in-memory grid backend answers over HTTP and agrees on cardinality
+# with the NM join above (same datasets, same pair set).
+grid_count=$(curl -sf -X POST "$base/join" -H 'Content-Type: application/json' \
+  -d '{"left":"a","right":"b","algo":"grid","topk":3}' \
+  | sed -n 's/.*"count":\([0-9][0-9]*\).*/\1/p')
+if [ -z "$grid_count" ] || [ "$grid_count" != "$count" ]; then
+  echo "grid join count $grid_count disagrees with nm count $count"
+  exit 1
+fi
+
+curl -sf "$base/stats" | grep -q '"joins_served":4' || {
+  echo "stats did not report 4 joins served"
   exit 1
 }
 
