@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check prop bench bench-smoke bench-baseline bench-new benchstat bench-json bench-grid scal serve smoke-server bench-service
+.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-grid scal serve smoke-server bench-service
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ bench:
 # paying for stable numbers. CI runs this on every push.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+# Pages guard: recompute the Fig. 7 joins and assert pages/op is
+# byte-identical to the committed BENCH_nmcij.json for NM/PM/FM. The
+# paper's I/O metric must never move under CPU-side optimization (decode
+# caching, pooling, geometric fast paths); CI fails the build if it does.
+pages-guard:
+	$(GO) test -run TestFig7PagesMatchBaseline -count 1 .
 
 # benchstat workflow: record a baseline on the base commit, re-run on your
 # branch, compare. BENCH_FILTER narrows the set; COUNT=10 gives benchstat

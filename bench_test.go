@@ -7,6 +7,7 @@ package cij_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"cij/internal/core"
@@ -276,6 +277,14 @@ func benchParallel(b *testing.B, workers int, balanced bool) {
 }
 
 func BenchmarkParallel_SpeedupCurve(b *testing.B) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		// A single-CPU host serializes every worker pool, so the "curve"
+		// degenerates to 1.0x at all widths. Skipping keeps that
+		// meaningless flat line out of BENCH_nmcij.json (which records the
+		// host's CPU count precisely so readers can interpret absences
+		// like this one).
+		b.Skip("GOMAXPROCS=1: a speedup curve measured on one CPU records a misleading 1.0x everywhere")
+	}
 	for _, w := range []int{1, 2, 4, 8} {
 		w := w
 		b.Run("workers="+itoa(w), func(b *testing.B) { benchParallel(b, w, false) })

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -229,6 +230,7 @@ func main() {
 		serveJSON  = flag.String("servejson", "", "serve experiment: also write rows as JSON to `file` (BENCH_service.json)")
 		gridJSON   = flag.String("gridjson", "BENCH_grid.json", "grid experiment: write crossover rows as JSON to `file` (empty disables)")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		hostInfo   = flag.Bool("hostinfo", false, "print the host-metadata JSON block (cpus, gomaxprocs, cpu model) and exit; scripts/bench_json.sh embeds it so every BENCH_*.json describes its machine identically")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file` (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to `file` (go tool pprof)")
 	)
@@ -243,6 +245,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cijbench: -clients: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *hostInfo {
+		if err := json.NewEncoder(os.Stdout).Encode(exp.Host()); err != nil {
+			fmt.Fprintf(os.Stderr, "cijbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *list || *expName == "" {

@@ -69,6 +69,8 @@ func batchConditionalFilter(rp *rtree.Tree, group []cellRecord, domain geom.Rect
 // buffer, valid until the next run on the same scratch.
 func (fs *filterScratch) run(rp *rtree.Tree, group []cellRecord, domain geom.Rect) []voronoi.Site {
 	fs.cp = fs.cp[:0]
+	fs.cpx = fs.cpx[:0]
+	fs.cpy = fs.cpy[:0]
 	if len(group) == 0 || rp.Root() == storage.InvalidPage {
 		return fs.cp
 	}
@@ -82,7 +84,11 @@ func (fs *filterScratch) run(rp *rtree.Tree, group []cellRecord, domain geom.Rec
 	}
 	anchor := geom.Centroid(fs.cents)
 	fs.winCorners = window.Corners()
-	windowPoly := geom.Polygon{V: fs.winCorners[:]}
+
+	fs.pruneHint = -1
+	for i := range fs.killers {
+		fs.killers[i] = -1
+	}
 
 	q := &fs.q
 	q.Reset()
@@ -90,16 +96,18 @@ func (fs *filterScratch) run(rp *rtree.Tree, group []cellRecord, domain geom.Rec
 	for q.Len() > 0 {
 		e := q.Pop()
 		if e.Leaf {
-			p := voronoi.Site{ID: e.ID, Pt: e.Pt}
+			p := voronoi.Site{ID: e.Ref, Pt: e.Pt()}
 			if fs.approxCellIntersectsGroup(p, fs.cp, group, window, domain) {
 				fs.cp = append(fs.cp, p)
+				fs.cpx = append(fs.cpx, p.Pt.X)
+				fs.cpy = append(fs.cpy, p.Pt.Y)
 			}
 			continue
 		}
-		if canPruneSubtree(e.MBR, fs.cp, group, windowPoly) {
+		if fs.canPruneSubtree(e.MBR, fs.cp, group, window) {
 			continue
 		}
-		q.PushNode(rp.ReadNode(e.Child), anchor)
+		q.PushNode(rp.ReadNode(e.Child()), anchor)
 	}
 	return fs.cp
 }
@@ -114,6 +122,36 @@ type filterScratch struct {
 	winCorners [4]geom.Point
 	clip       geom.Clipper
 	ord        []float64 // squared distance of each candidate to the probe
+	cpx, cpy   []float64 // candidate coordinates, parallel to cp (scan locality)
+
+	// pruneHint is the index into cp of the candidate that most recently
+	// certified a subtree prune. Consecutive queue pops are spatially
+	// adjacent, so the same candidate tends to keep pruning; trying it
+	// first turns the existential scan of canPruneSubtree into a
+	// single-candidate test most of the time. Reset per run (cp indexes
+	// are only stable within one run).
+	pruneHint int
+	// killers are the indexes into cp of the candidates whose bisectors
+	// most recently rejected probe points, most recent first; see the
+	// separating-bisector fast path of approxCellIntersectsGroup. Reset
+	// per run. A small ring instead of one slot: probes near a window
+	// corner alternate between a few separators.
+	killers [8]int
+}
+
+// pushKiller records idx as the most recent separating candidate, moving
+// it to the front if already present so the ring holds distinct
+// candidates (duplicates would silently shrink its effective size).
+func (fs *filterScratch) pushKiller(idx int) {
+	pos := len(fs.killers) - 1
+	for k, v := range fs.killers {
+		if v == idx {
+			pos = k
+			break
+		}
+	}
+	copy(fs.killers[1:pos+1], fs.killers[:pos])
+	fs.killers[0] = idx
 }
 
 // candDist is one slot of the nearest-candidate selection.
@@ -122,13 +160,44 @@ type candDist struct {
 	idx int
 }
 
+// killerMargin is the geometric separation (in domain units) the
+// separating-bisector fast path demands between the group window and a
+// candidate's bisector halfplane before rejecting a probe point without
+// building its cell. It sits three orders of magnitude above geom.Eps
+// (the clipping and SAT tolerance), so the short-cut verdict can never
+// disagree with the clip-and-test verdict it replaces, and eight orders
+// below the domain width, so it fires for essentially every genuinely
+// separated probe.
+const killerMargin = 1e-4
+
 // approxCellIntersectsGroup computes the approximate Voronoi cell
 // V(p, CP) — the cell of p with respect to the current candidate set only,
 // a superset of the true V(p, P) — and reports whether it intersects any
 // polygon of the group. Candidates are applied nearest-first so the cell
 // shrinks quickly, with a periodic early exit as soon as it leaves the
 // group window.
+//
+// Fast path: the cell of p is contained in the bisector halfplane of
+// (p, c) for EVERY candidate c, so if one candidate's bisector strictly
+// separates p from the whole group window, the cell cannot reach any
+// group polygon and the answer is false before any clipping. The
+// candidate that last rejected a probe this way (fs.killer) is tried
+// first — consecutive probes are spatially adjacent, so one "killer"
+// candidate typically rejects long runs of them.
 func (fs *filterScratch) approxCellIntersectsGroup(p voronoi.Site, cp []voronoi.Site, group []cellRecord, window geom.Rect, domain geom.Rect) bool {
+	for k := 0; k < len(fs.killers); k++ {
+		idx := fs.killers[k]
+		if idx < 0 || idx >= len(cp) {
+			continue
+		}
+		if fs.bisectorSeparatesWindow(p.Pt, cp[idx].Pt) {
+			if k != 0 {
+				copy(fs.killers[1:k+1], fs.killers[:k])
+				fs.killers[0] = idx
+			}
+			return false
+		}
+	}
 	cell := fs.clip.Seed(domain)
 	if len(cp) > 0 {
 		// One pass over the candidate set: cache every squared distance
@@ -137,12 +206,18 @@ func (fs *filterScratch) approxCellIntersectsGroup(p voronoi.Site, cp []voronoi.
 		// candidates do all the shrinking; once the cell is tight the
 		// remaining clips are no-ops, so their order is irrelevant.
 		const nearestK = 12
-		fs.ord = fs.ord[:0]
+		if cap(fs.ord) < len(cp) {
+			fs.ord = make([]float64, len(cp))
+		}
+		fs.ord = fs.ord[:len(cp)]
 		var sel [nearestK]candDist
 		nsel := 0
-		for i := range cp {
-			d := cp[i].Pt.Dist2(p.Pt)
-			fs.ord = append(fs.ord, d)
+		px, py := p.Pt.X, p.Pt.Y
+		cpx, cpy := fs.cpx[:len(cp)], fs.cpy[:len(cp)]
+		for i := range cpx {
+			dx, dy := cpx[i]-px, cpy[i]-py
+			d := dx*dx + dy*dy
+			fs.ord[i] = d
 			if nsel < nearestK {
 				j := nsel
 				for j > 0 && sel[j-1].d > d {
@@ -165,6 +240,16 @@ func (fs *filterScratch) approxCellIntersectsGroup(p voronoi.Site, cp []voronoi.
 		// inequality on Lemma 1), so after the nearest candidates have
 		// tightened the cell, the — mostly distant — rest of the set is
 		// dismissed with one comparison each.
+		// Before clipping, give the nearest candidates a chance to reject p
+		// outright: each bisector is a proven upper bound on the cell, so a
+		// separating one ends the test in O(1). Whichever candidate fires
+		// becomes the killer hint for the following probes.
+		for s := 0; s < nsel && s < 4; s++ {
+			if idx := sel[s].idx; fs.bisectorSeparatesWindow(p.Pt, cp[idx].Pt) {
+				fs.pushKiller(idx)
+				return false
+			}
+		}
 		rad2 := geom.MaxDist2(cell.V, p.Pt)
 		clips := 0
 		for s := 0; s < nsel; s++ {
@@ -177,13 +262,23 @@ func (fs *filterScratch) approxCellIntersectsGroup(p voronoi.Site, cp []voronoi.
 			if c.Pt.Eq(p.Pt) {
 				continue
 			}
+			// CanRefinePoint is the clip's own vertex prescan without the
+			// bisector construction: candidates that cannot cut skip the
+			// halfplane and its sqrt entirely. A within-tolerance pass
+			// re-emits the identical ring, so everything downstream stays
+			// bit-equal.
+			if !voronoi.CanRefinePoint(cell.V, p.Pt, c.Pt, rad2) {
+				continue
+			}
 			cell = fs.clip.Clip(cell, geom.Bisector(p.Pt, c.Pt))
 			if cell.IsEmpty() {
+				fs.pushKiller(idx)
 				return false
 			}
 			rad2 = geom.MaxDist2(cell.V, p.Pt)
 			clips++
 			if clips%4 == 0 && !cell.Bounds().Intersects(window) {
+				fs.pushKiller(idx)
 				return false
 			}
 		}
@@ -195,13 +290,18 @@ func (fs *filterScratch) approxCellIntersectsGroup(p voronoi.Site, cp []voronoi.
 			if c.Pt.Eq(p.Pt) {
 				continue
 			}
+			if !voronoi.CanRefinePoint(cell.V, p.Pt, c.Pt, rad2) {
+				continue
+			}
 			cell = fs.clip.Clip(cell, geom.Bisector(p.Pt, c.Pt))
 			if cell.IsEmpty() {
+				fs.pushKiller(i)
 				return false
 			}
 			rad2 = geom.MaxDist2(cell.V, p.Pt)
 			clips++
 			if clips%4 == 0 && !cell.Bounds().Intersects(window) {
+				fs.pushKiller(i)
 				return false
 			}
 		}
@@ -218,40 +318,135 @@ func (fs *filterScratch) approxCellIntersectsGroup(p voronoi.Site, cp []voronoi.
 	return false
 }
 
+// bisectorSeparatesWindow reports whether the bisector halfplane of
+// (p, c) — which contains every cell of p no matter what else clips it —
+// leaves the whole group window at least killerMargin away on c's side.
+// When it does, no cell of p can touch any group polygon (they all lie in
+// the window), so the probe is rejected without any clipping. The margin
+// keeps the verdict strictly inside what the clip-and-SAT path would also
+// reject: the clipped cell respects the halfplane within geom.Eps, three
+// orders of magnitude tighter than the demanded separation.
+func (fs *filterScratch) bisectorSeparatesWindow(p, c geom.Point) bool {
+	if c.Eq(p) {
+		return false
+	}
+	// Inlined Bisector without the normal-length sqrt: the margin compare
+	// Side > killerMargin·max(1,|N|) is evaluated on squares instead.
+	nx, ny := 2*(c.X-p.X), 2*(c.Y-p.Y)
+	cc := c.X*c.X + c.Y*c.Y - p.X*p.X - p.Y*p.Y
+	n2 := nx*nx + ny*ny
+	m2 := killerMargin * killerMargin
+	if n2 > 1 {
+		m2 *= n2
+	}
+	for _, w := range fs.winCorners {
+		// side > 0 means w is closer to c than to p; the window is convex,
+		// so corner sidedness bounds every window point.
+		side := nx*w.X + ny*w.Y - cc
+		if side <= 0 || side*side <= m2 {
+			return false
+		}
+	}
+	return true
+}
+
 // canPruneSubtree applies the geometric pruning of Section IV-A: a
 // non-leaf entry with MBR r can be pruned iff no polygon of the group
 // intersects r and there is a candidate p such that every group polygon T
 // falls inside Φ(L, p) for every side L of r — then the Voronoi cell of
 // any point inside r cannot reach any T (Lemma 3).
-func canPruneSubtree(r geom.Rect, cp []voronoi.Site, group []cellRecord, windowPoly geom.Polygon) bool {
+func (fs *filterScratch) canPruneSubtree(r geom.Rect, cp []voronoi.Site, group []cellRecord, window geom.Rect) bool {
 	if len(cp) == 0 {
 		return false
 	}
 	// An entry intersecting some group polygon may contain points inside
-	// it — those join for sure; never prune.
-	for i := range group {
-		if group[i].bounds.Intersects(r) && group[i].poly.IntersectsRect(r) {
-			return false
+	// it — those join for sure; never prune. Every group polygon lies in
+	// the window, so an entry clear of the window skips the per-polygon
+	// scan.
+	if r.Intersects(window) {
+		for i := range group {
+			if group[i].bounds.Intersects(r) && group[i].poly.IntersectsRect(r) {
+				return false
+			}
 		}
 	}
 	sides := r.Sides()
 	// Fast path: test the group's bounding window (4 vertices) instead of
 	// every polygon. W ⊇ every T, so W ⊆ Φ(L,p) implies T ⊆ Φ(L,p).
-	for _, p := range cp {
-		ok := true
-		for _, l := range sides {
-			if !l.PolygonInPhi(p.Pt, windowPoly) {
-				ok = false
-				break
+	//
+	// W ⊆ Φ(L,p) for all four sides L unrolls to: for every window corner
+	// t and every side L, dist²(p,t) ≤ dist²(L,t) + Eps (Segment.InPhi
+	// over the window's vertices). The right-hand sides depend only on the
+	// entry, so their per-corner minima are computed once and the whole
+	// existential test collapses, per candidate, to four squared-distance
+	// comparisons — algebraically identical to running Segment.PolygonInPhi
+	// on every side, at a tenth of the arithmetic. The candidate that
+	// pruned the previous entry goes first: consecutive pops are spatial
+	// neighbors, so one candidate tends to prune runs of them.
+	var minSide2 [4]float64
+	for c, t := range fs.winCorners {
+		m := sides[0].Dist2Point(t)
+		for l := 1; l < 4; l++ {
+			if d := sides[l].Dist2Point(t); d < m {
+				m = d
 			}
 		}
-		if ok {
+		minSide2[c] = m + geom.Eps
+	}
+	windowInPhi := func(p geom.Point) bool {
+		return p.Dist2(fs.winCorners[0]) <= minSide2[0] &&
+			p.Dist2(fs.winCorners[1]) <= minSide2[1] &&
+			p.Dist2(fs.winCorners[2]) <= minSide2[2] &&
+			p.Dist2(fs.winCorners[3]) <= minSide2[3]
+	}
+	if h := fs.pruneHint; h >= 0 && h < len(cp) && windowInPhi(cp[h].Pt) {
+		return true
+	}
+	for i := range cp {
+		if i == fs.pruneHint {
+			continue
+		}
+		if windowInPhi(cp[i].Pt) {
+			fs.pruneHint = i
 			return true
 		}
 	}
 	// Exact path: per-polygon test, early-failing on the first vertex
-	// outside Φ.
+	// outside Φ. Before paying the segment tests, each candidate runs a
+	// sampled-vertex screen: Φ-containment of every group polygon demands
+	// in particular dist²(p,v) ≤ min_L dist²(L,v)+Eps for each sampled
+	// vertex v, so the screen (a necessary condition with the identical
+	// tolerance) can only skip candidates the full test would reject.
+	const screenSamples = 8
+	var sv [screenSamples]geom.Point
+	var sm [screenSamples]float64
+	ns := 0
+	for k := 0; k < screenSamples && k*len(group)/screenSamples < len(group); k++ {
+		g := &group[k*len(group)/screenSamples]
+		if len(g.poly.V) == 0 {
+			continue
+		}
+		v := g.poly.V[0]
+		m := sides[0].Dist2Point(v)
+		for l := 1; l < 4; l++ {
+			if d := sides[l].Dist2Point(v); d < m {
+				m = d
+			}
+		}
+		sv[ns], sm[ns] = v, m+geom.Eps
+		ns++
+	}
 	for _, p := range cp {
+		screened := false
+		for k := 0; k < ns; k++ {
+			if p.Pt.Dist2(sv[k]) > sm[k] {
+				screened = true
+				break
+			}
+		}
+		if screened {
+			continue
+		}
 		ok := true
 		for _, l := range sides {
 			for i := range group {
@@ -270,3 +465,4 @@ func canPruneSubtree(r geom.Rect, cp []voronoi.Site, group []cellRecord, windowP
 	}
 	return false
 }
+

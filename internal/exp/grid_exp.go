@@ -144,10 +144,12 @@ func TableGrid(rows []GridRow) Table {
 func WriteGridJSON(w io.Writer, rows []GridRow, scale float64) error {
 	doc := struct {
 		Date  string    `json:"date"`
+		Host  HostInfo  `json:"host"`
 		Scale float64   `json:"scale"`
 		Rows  []GridRow `json:"rows"`
 	}{
 		Date:  time.Now().UTC().Format(time.RFC3339),
+		Host:  Host(),
 		Scale: scale,
 		Rows:  rows,
 	}

@@ -211,10 +211,12 @@ func TableServe(rows []ServeRow) Table {
 func WriteServeJSON(w io.Writer, rows []ServeRow, scale float64) error {
 	doc := struct {
 		Date  string     `json:"date"`
+		Host  HostInfo   `json:"host"`
 		Scale float64    `json:"scale"`
 		Rows  []ServeRow `json:"rows"`
 	}{
 		Date:  time.Now().UTC().Format(time.RFC3339),
+		Host:  Host(),
 		Scale: scale,
 		Rows:  rows,
 	}

@@ -163,6 +163,36 @@ func (cl *Clipper) Clip(g Polygon, h Halfplane) Polygon {
 	return Polygon{V: out}
 }
 
+// ClipCut is Clip with a no-op fast path: when every vertex of g already
+// lies inside h (within the clipping tolerance), the clip would emit g
+// verbatim, so ClipCut returns g itself — no copy, no buffer rotation —
+// and reports cut=false. Hot loops use the report to skip work that only
+// a changed polygon invalidates (circumradius recomputation, bounds
+// re-tests). When some vertex is outside, the regular clip runs and
+// cut=true.
+//
+// The result is bit-identical to Clip in both cases: a Sutherland–Hodgman
+// pass over an all-inside ring reproduces the ring unchanged. Returning g
+// on the fast path preserves the clipper aliasing contract — the buffers
+// do not rotate, so the "input of the immediately following call" window
+// is unchanged.
+func (cl *Clipper) ClipCut(g Polygon, h Halfplane) (out Polygon, cut bool) {
+	if g.IsEmpty() {
+		return Polygon{}, false
+	}
+	tol := Eps * h.scale()
+	for _, v := range g.V {
+		if h.Side(v) > tol {
+			cut = true
+			break
+		}
+	}
+	if !cut {
+		return g, false
+	}
+	return cl.Clip(g, h), true
+}
+
 // Intersect is the buffer-reusing form of Polygon.Intersection (which
 // delegates here): it clips g successively by the supporting halfplane of
 // every edge of o. g may be a previous result of this clipper; o must not
@@ -181,9 +211,10 @@ func (cl *Clipper) Intersect(g, o Polygon) Polygon {
 		}
 		e := o.V[j].Sub(o.V[i])
 		// Interior of a CCW polygon is left of the edge: normal (e.Y, -e.X)
-		// points outward, keep N·a ≤ N·vi.
+		// points outward, keep N·a ≤ N·vi. ClipCut skips the copy for
+		// edges that do not cut (bit-identical output either way).
 		nrm := Point{e.Y, -e.X}
-		res = cl.Clip(res, Halfplane{N: nrm, C: nrm.Dot(o.V[i])})
+		res, _ = cl.ClipCut(res, Halfplane{N: nrm, C: nrm.Dot(o.V[i])})
 	}
 	return res
 }

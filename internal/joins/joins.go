@@ -31,8 +31,8 @@ func DistanceJoin(rp, rq *rtree.Tree, eps float64, emit func(PointPair)) {
 	if rp.Root() == storage.InvalidPage || rq.Root() == storage.InvalidPage {
 		return
 	}
-	np := rp.ReadNode(rp.Root())
-	nq := rq.ReadNode(rq.Root())
+	np := rp.ReadNodeStable(rp.Root())
+	nq := rq.ReadNodeStable(rq.Root())
 	distJoinNodes(rp, rq, np, nq, rp.Height(), rq.Height(), eps, emit)
 }
 
@@ -51,7 +51,7 @@ func distJoinNodes(rp, rq *rtree.Tree, np, nq *rtree.Node, lp, lq int, eps float
 		bound := nq.MBR()
 		for i := range np.Entries {
 			if np.Entries[i].MBR.MinDistRect(bound) <= eps {
-				child := rp.ReadNode(np.Entries[i].Child)
+				child := rp.ReadNodeStable(np.Entries[i].Child)
 				distJoinNodes(rp, rq, child, nq, lp-1, lq, eps, emit)
 			}
 		}
@@ -59,7 +59,7 @@ func distJoinNodes(rp, rq *rtree.Tree, np, nq *rtree.Node, lp, lq int, eps float
 		bound := np.MBR()
 		for j := range nq.Entries {
 			if nq.Entries[j].MBR.MinDistRect(bound) <= eps {
-				child := rq.ReadNode(nq.Entries[j].Child)
+				child := rq.ReadNodeStable(nq.Entries[j].Child)
 				distJoinNodes(rp, rq, np, child, lp, lq-1, eps, emit)
 			}
 		}
@@ -67,8 +67,8 @@ func distJoinNodes(rp, rq *rtree.Tree, np, nq *rtree.Node, lp, lq int, eps float
 		for i := range np.Entries {
 			for j := range nq.Entries {
 				if np.Entries[i].MBR.MinDistRect(nq.Entries[j].MBR) <= eps {
-					cp := rp.ReadNode(np.Entries[i].Child)
-					cq := rq.ReadNode(nq.Entries[j].Child)
+					cp := rp.ReadNodeStable(np.Entries[i].Child)
+					cq := rq.ReadNodeStable(nq.Entries[j].Child)
 					distJoinNodes(rp, rq, cp, cq, lp-1, lq-1, eps, emit)
 				}
 			}
@@ -101,8 +101,8 @@ func ClosestPairs(rp, rq *rtree.Tree, k int) []PointPair {
 			ep: ep, eq: eq, lp: lp, lq: lq, leafPair: leafPair,
 		})
 	}
-	np := rp.ReadNode(rp.Root())
-	nq := rq.ReadNode(rq.Root())
+	np := rp.ReadNodeStable(rp.Root())
+	nq := rq.ReadNodeStable(rq.Root())
 	crossPush(np, nq, rp.Height(), rq.Height(), push)
 
 	var out []PointPair
@@ -114,12 +114,12 @@ func ClosestPairs(rp, rq *rtree.Tree, k int) []PointPair {
 		}
 		if top.lp >= top.lq && top.lp > 0 {
 			// Expand the P side (the taller remaining subtree).
-			n := rp.ReadNode(top.ep.Child)
+			n := rp.ReadNodeStable(top.ep.Child)
 			for i := range n.Entries {
 				push(n.Entries[i], top.eq, top.lp-1, top.lq, top.lp-1 == 0 && top.lq == 0)
 			}
 		} else {
-			n := rq.ReadNode(top.eq.Child)
+			n := rq.ReadNodeStable(top.eq.Child)
 			for i := range n.Entries {
 				push(top.ep, n.Entries[i], top.lp, top.lq-1, top.lp == 0 && top.lq-1 == 0)
 			}

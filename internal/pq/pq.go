@@ -31,14 +31,26 @@ import (
 // Item is one prioritized R-tree entry: the entry's point-tree fields,
 // whether it came from a leaf node, and its priority key (squared mindist
 // from the traversal's anchor point).
+//
+// The item is deliberately small (56 bytes): sift operations move whole
+// items, so item size is the constant factor of every heap operation. Two
+// representations are collapsed away: a leaf point's location is its
+// degenerate MBR (point trees store MBR = RectFromPoint(pt) exactly), so
+// Pt is derived rather than stored, and the object-id and child-page
+// fields — never live at the same time — share the Ref slot.
 type Item struct {
-	Key   float64
-	Leaf  bool
-	ID    int64          // leaf entries: object id
-	Child storage.PageID // internal entries: child page
-	Pt    geom.Point     // leaf entries: the indexed point
-	MBR   geom.Rect      // bounding rectangle
+	Key  float64
+	Ref  int64     // leaf entries: object id; internal entries: child page
+	MBR  geom.Rect // bounding rectangle
+	Leaf bool
 }
+
+// Pt returns the indexed point of a leaf entry (the MBR's min corner,
+// which for point entries is the point itself).
+func (it Item) Pt() geom.Point { return geom.Point{X: it.MBR.MinX, Y: it.MBR.MinY} }
+
+// Child returns the child page of an internal entry.
+func (it Item) Child() storage.PageID { return storage.PageID(it.Ref) }
 
 // Queue is a growable binary min-heap of Items ordered by Key. The zero
 // value is an empty queue ready for use. Queue is not safe for concurrent
@@ -65,13 +77,15 @@ func (q *Queue) Push(it Item) {
 func (q *Queue) PushNode(n *rtree.Node, anchor geom.Point) {
 	for i := range n.Entries {
 		e := &n.Entries[i]
+		ref := e.ID
+		if !n.Leaf {
+			ref = int64(e.Child)
+		}
 		q.a = append(q.a, Item{
-			Key:   e.MBR.MinDist2(anchor),
-			Leaf:  n.Leaf,
-			ID:    e.ID,
-			Child: e.Child,
-			Pt:    e.Pt,
-			MBR:   e.MBR,
+			Key:  e.MBR.MinDist2(anchor),
+			Leaf: n.Leaf,
+			Ref:  ref,
+			MBR:  e.MBR,
 		})
 		q.up(len(q.a) - 1)
 	}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+	"unsafe"
 
 	"cij/internal/geom"
 	"cij/internal/rtree"
@@ -16,7 +17,7 @@ func TestQueuePopsAscending(t *testing.T) {
 	keys := make([]float64, n)
 	for i := range keys {
 		keys[i] = rng.Float64() * 1000
-		q.Push(Item{Key: keys[i], ID: int64(i)})
+		q.Push(Item{Key: keys[i], Ref: int64(i)})
 	}
 	sort.Float64s(keys)
 	if q.Len() != n {
@@ -77,10 +78,23 @@ func TestQueuePushNodeKeys(t *testing.T) {
 		if want := it.MBR.MinDist2(anchor); it.Key != want {
 			t.Fatalf("key %g, want mindist2 %g", it.Key, want)
 		}
+		// The leaf point is reconstructed from the degenerate MBR.
+		if pt := it.Pt(); pt != geom.Pt(float64(it.Ref), float64(it.Ref*2)) {
+			t.Fatalf("item %d: Pt() = %v", it.Ref, pt)
+		}
 		if it.Key < last {
 			t.Fatalf("pop out of order: %g after %g", it.Key, last)
 		}
 		last = it.Key
+	}
+}
+
+// TestItemSize pins the item layout: sift operations copy whole items, so
+// growing the struct silently taxes every heap operation of every
+// traversal. 56 bytes = key + ref + MBR + leaf flag (padded).
+func TestItemSize(t *testing.T) {
+	if got := unsafe.Sizeof(Item{}); got != 56 {
+		t.Fatalf("pq.Item is %d bytes, want 56", got)
 	}
 }
 

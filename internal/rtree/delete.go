@@ -76,7 +76,8 @@ func (t *Tree) DeletePoint(id int64, p geom.Point) bool {
 // children are dissolved into orphans. Returns whether the object was
 // found.
 func (t *Tree) deleteAt(pid storage.PageID, level int, id int64, mbr geom.Rect, orphans *[]Entry) bool {
-	n := t.readNodeQuiet(pid)
+	// Mutating read: deleteAt splices entries out of the node in place.
+	n := t.readNodeQuietMut(pid)
 	if level == 1 {
 		for i := range n.Entries {
 			if n.Entries[i].ID == id {

@@ -53,7 +53,9 @@ func (t *Tree) insert(e Entry) {
 // splits upward. It returns the entry for a new sibling of node id when
 // the node split, or nil.
 func (t *Tree) insertAt(id storage.PageID, e Entry, level int) *Entry {
-	n := t.readNodeQuiet(id)
+	// Mutating read: insertAt appends to and rewrites the entry slice, so
+	// it must own its copy rather than edit a cached shared node.
+	n := t.readNodeQuietMut(id)
 	if level == 1 {
 		if t.leafFits(n.Entries, &e) {
 			n.Entries = append(n.Entries, e)

@@ -22,8 +22,8 @@ func STJoin(a, b *Tree, emit func(ea, eb Entry)) {
 	if a.root == storage.InvalidPage || b.root == storage.InvalidPage {
 		return
 	}
-	na := a.ReadNode(a.root)
-	nb := b.ReadNode(b.root)
+	na := a.ReadNodeStable(a.root)
+	nb := b.ReadNodeStable(b.root)
 	joinLoaded(a, b, na, nb, a.height, b.height, emit)
 }
 
@@ -38,7 +38,7 @@ func joinLoaded(a, b *Tree, na, nb *Node, la, lb int, emit func(ea, eb Entry)) {
 		for i := range na.Entries {
 			e := &na.Entries[i]
 			if e.MBR.Intersects(bound) {
-				child := a.ReadNode(e.Child)
+				child := a.ReadNodeStable(e.Child)
 				joinLoaded(a, b, child, nb, la-1, lb, emit)
 			}
 		}
@@ -47,7 +47,7 @@ func joinLoaded(a, b *Tree, na, nb *Node, la, lb int, emit func(ea, eb Entry)) {
 		for i := range nb.Entries {
 			e := &nb.Entries[i]
 			if e.MBR.Intersects(bound) {
-				child := b.ReadNode(e.Child)
+				child := b.ReadNodeStable(e.Child)
 				joinLoaded(a, b, na, child, la, lb-1, emit)
 			}
 		}
@@ -59,8 +59,8 @@ func joinLoaded(a, b *Tree, na, nb *Node, la, lb int, emit func(ea, eb Entry)) {
 			pairs = append(pairs, [2]int{i, j})
 		})
 		for _, pr := range pairs {
-			ca := a.ReadNode(na.Entries[pr[0]].Child)
-			cb := b.ReadNode(nb.Entries[pr[1]].Child)
+			ca := a.ReadNodeStable(na.Entries[pr[0]].Child)
+			cb := b.ReadNodeStable(nb.Entries[pr[1]].Child)
 			joinLoaded(a, b, ca, cb, la-1, lb-1, emit)
 		}
 	}

@@ -127,20 +127,48 @@ func encodeNode(n *Node, kind Kind, pageSize int) []byte {
 	return buf
 }
 
-// decodeNode parses a page into a Node.
+// decodeNode parses a page into a freshly allocated Node.
 func decodeNode(buf []byte, kind Kind) *Node {
-	n := &Node{Leaf: buf[1] == 1}
+	n := &Node{}
+	decodeNodeInto(n, buf, kind)
+	return n
+}
+
+// decodeNodeInto parses a page into n, reusing n's entry slice (and, for
+// polygon leaves, the per-slot vertex slices) when their capacity
+// suffices. It is the scratch-decode path of buffer-less trees: a Tree
+// reading through a capacity-0 buffer decodes every access into one
+// reused node, so the Fig. 5 experiments stay allocation-lean without any
+// caching. Entries beyond the new count keep their backing arrays but are
+// zeroed-by-overwrite on the next reuse only as far as the then-current
+// count, which is fine because Node consumers never look past
+// len(Entries).
+func decodeNodeInto(n *Node, buf []byte, kind Kind) *Node {
+	n.Leaf = buf[1] == 1
 	count := int(binary.LittleEndian.Uint16(buf[2:4]))
-	n.Entries = make([]Entry, count)
+	if cap(n.Entries) >= count {
+		n.Entries = n.Entries[:count]
+	} else {
+		n.Entries = make([]Entry, count)
+	}
 	off := headerSize
-	for i := 0; i < count; i++ {
-		e := &n.Entries[i]
-		switch {
-		case !n.Leaf:
+	// One specialized loop per node shape: the discriminator is per-node,
+	// not per-entry, and hoisting it lets each loop run branch-free over
+	// the fixed-size records. Fields the shape does not use are left
+	// unspecified when the entry slice is reused — every consumer reads
+	// only shape-appropriate fields (leaf flags gate ID/Pt/Poly vs Child),
+	// and fresh nodes come from a zeroed allocation.
+	switch {
+	case !n.Leaf:
+		for i := 0; i < count; i++ {
+			e := &n.Entries[i]
 			e.MBR, off = getRect(buf, off)
 			e.Child = storage.PageID(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
-		case kind == KindPoints:
+		}
+	case kind == KindPoints:
+		for i := 0; i < count; i++ {
+			e := &n.Entries[i]
 			e.ID = int64(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
 			var x, y float64
@@ -148,12 +176,20 @@ func decodeNode(buf []byte, kind Kind) *Node {
 			y, off = getFloat(buf, off)
 			e.Pt = geom.Pt(x, y)
 			e.MBR = geom.RectFromPoint(e.Pt)
-		default:
+		}
+	default:
+		for i := 0; i < count; i++ {
+			e := &n.Entries[i]
 			e.ID = int64(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
 			nv := int(binary.LittleEndian.Uint16(buf[off:]))
 			off += 2
-			vs := make([]geom.Point, nv)
+			vs := e.Poly.V
+			if cap(vs) >= nv {
+				vs = vs[:nv]
+			} else {
+				vs = make([]geom.Point, nv)
+			}
 			for j := 0; j < nv; j++ {
 				var x, y float64
 				x, off = getFloat(buf, off)

@@ -19,7 +19,7 @@ func (t *Tree) RangeSearch(query geom.Rect) []Entry {
 	}
 	var walk func(id storage.PageID, level int)
 	walk = func(id storage.PageID, level int) {
-		n := t.ReadNode(id)
+		n := t.ReadNodeStable(id)
 		for i := range n.Entries {
 			e := &n.Entries[i]
 			if !e.MBR.Intersects(query) {
@@ -60,7 +60,9 @@ func (h *entryHeap) Pop() interface{} {
 
 // NNIterator browses leaf objects in ascending distance from an anchor
 // point — the incremental best-first algorithm of Hjaltason & Samet that
-// Algorithm 1 and the ConditionalFilter build on.
+// Algorithm 1 and the ConditionalFilter build on. It reads through
+// ReadNodeStable: heap items retain entry values (including polygon
+// vertex slices on polygon trees), which must not alias a scratch node.
 type NNIterator struct {
 	t      *Tree
 	anchor geom.Point
@@ -71,7 +73,7 @@ type NNIterator struct {
 func (t *Tree) NewNNIterator(anchor geom.Point) *NNIterator {
 	it := &NNIterator{t: t, anchor: anchor}
 	if t.root != storage.InvalidPage {
-		root := t.ReadNode(t.root)
+		root := t.ReadNodeStable(t.root)
 		it.pushNode(root)
 	}
 	heap.Init(&it.h)
@@ -97,7 +99,7 @@ func (it *NNIterator) Next() (Entry, float64, bool) {
 		if top.leaf {
 			return top.entry, top.key, true
 		}
-		it.pushNode(it.t.ReadNode(top.entry.Child))
+		it.pushNode(it.t.ReadNodeStable(top.entry.Child))
 	}
 	return Entry{}, 0, false
 }
@@ -125,13 +127,17 @@ func (t *Tree) KNN(anchor geom.Point, k int, accept func(Entry) bool) []Entry {
 // III-C that makes successively visited leaves close in space, so that
 // batch-computed Voronoi cells arrive in good packing order and buffer
 // locality is high.
+//
+// The leaf handed to visit is shared and read-only (it may be the
+// buffer's cached decoded node); callbacks copy what they keep, as
+// voronoi.AppendSites does.
 func (t *Tree) VisitLeavesHilbert(domain geom.Rect, visit func(leaf *Node)) {
 	if t.root == storage.InvalidPage {
 		return
 	}
 	var walk func(id storage.PageID, level int)
 	walk = func(id storage.PageID, level int) {
-		n := t.ReadNode(id)
+		n := t.ReadNodeStable(id)
 		if n.Leaf {
 			visit(n)
 			return
@@ -159,7 +165,7 @@ func (t *Tree) VisitLeaves(visit func(leaf *Node)) {
 	}
 	var walk func(id storage.PageID, level int)
 	walk = func(id storage.PageID, level int) {
-		n := t.ReadNode(id)
+		n := t.ReadNodeStable(id)
 		if n.Leaf {
 			visit(n)
 			return

@@ -9,6 +9,24 @@ import (
 
 // Tree is a disk-resident R-tree. All node accesses go through the
 // storage.Buffer handed to the constructor, so I/O accounting is exact.
+//
+// Node reads come in three forms with one shared rule — nodes returned by
+// the read methods are SHARED and READ-ONLY unless stated otherwise:
+//
+//   - ReadNode: the hot-path read. Served from the buffer's decoded-node
+//     cache when the page is resident; on a capacity-0 (buffer-less)
+//     buffer it decodes into a per-handle scratch node, so the result is
+//     only valid until the next read through the same handle.
+//   - ReadNodeStable: like ReadNode but never scratch-backed — the result
+//     stays valid indefinitely. For callers that hold a node across
+//     further reads (synchronous-traversal joins, DFS walks).
+//   - ReadNodeMut: a private, freshly decoded copy the caller may mutate.
+//     Mutation paths (insert/delete) use it; the shared cache never sees
+//     nodes that anyone writes to.
+//
+// Decoded-node caching is what makes repeat accesses to buffer-resident
+// pages decode-free; coherence is the buffer's job (eviction and Write
+// drop a page's decoded slot), so a cached node can never be stale.
 type Tree struct {
 	buf    *storage.Buffer
 	kind   Kind
@@ -19,6 +37,11 @@ type Tree struct {
 	maxInternal int
 	maxPoints   int
 	minFill     int
+
+	// scratch is the reused decode target of capacity-0 reads; one per
+	// handle (WithBuffer views get their own), so handles never clobber
+	// each other's in-flight node.
+	scratch *Node
 }
 
 // New creates an empty tree of the given kind on buf. The first Insert
@@ -31,6 +54,7 @@ func New(buf *storage.Buffer, kind Kind) *Tree {
 		root:        storage.InvalidPage,
 		maxInternal: MaxInternalEntries(pageSize),
 		maxPoints:   MaxPointEntries(pageSize),
+		scratch:     &Node{},
 	}
 	if t.maxInternal < 2 || t.maxPoints < 2 {
 		panic(fmt.Sprintf("rtree: page size %d too small", pageSize))
@@ -59,6 +83,10 @@ func (t *Tree) WithBuffer(buf *storage.Buffer) *Tree {
 	}
 	view := *t
 	view.buf = buf
+	// Each view decodes into its own scratch and caches into its own
+	// buffer's decoded slots: views share immutable pages, never decode
+	// state.
+	view.scratch = &Node{}
 	return &view
 }
 
@@ -95,18 +123,75 @@ func (t *Tree) countPages(id storage.PageID, level int) int {
 	return total
 }
 
-// ReadNode fetches and decodes the node stored at id, counting one node
-// access in the buffer statistics.
+// ReadNode fetches the node stored at id, counting one node access in the
+// buffer statistics exactly like a plain page read. When the page is
+// buffer-resident and carries a decoded node, that node is returned
+// without re-parsing (a decode hit). A resident page read without a
+// decoded node (second touch) is decoded once into a fresh node that is
+// attached to the page for subsequent reads. A physical miss — and every
+// read on a capacity-0, buffer-less tree — decodes into the handle's
+// reused scratch node: pages that are never re-read while resident never
+// pay a heap decode, which keeps the paper's tiny-buffer experiments
+// allocation-lean without inflating their accounting.
+//
+// The returned node is shared and read-only, and — because of the
+// scratch — guaranteed valid only until the next read through the same
+// handle. Callers that retain a node across further reads must use
+// ReadNodeStable; callers that mutate must use ReadNodeMut.
 func (t *Tree) ReadNode(id storage.PageID) *Node {
+	data, dec, resident := t.buf.ReadDecoded(id)
+	if dec != nil {
+		return dec.(*Node)
+	}
+	if !resident || t.buf.Capacity() == 0 {
+		return decodeNodeInto(t.scratch, data, t.kind)
+	}
+	n := decodeNode(data, t.kind)
+	t.buf.SetDecoded(id, n)
+	return n
+}
+
+// ReadNodeStable is ReadNode without the scratch reuse: the returned node
+// is shared and read-only but remains valid indefinitely (a decoded node
+// is immutable; mutations replace, never modify, cached nodes).
+// Traversals that hold a parent node while reading its children read
+// through this method. It installs the decode on first touch — stable
+// callers (DFS walks, synchronous joins) revisit upper levels reliably.
+func (t *Tree) ReadNodeStable(id storage.PageID) *Node {
+	data, dec, _ := t.buf.ReadDecoded(id)
+	if dec != nil {
+		return dec.(*Node)
+	}
+	n := decodeNode(data, t.kind)
+	t.buf.SetDecoded(id, n)
+	return n
+}
+
+// ReadNodeMut fetches a private, freshly decoded copy of the node that
+// the caller may mutate. It bypasses the decoded-node cache in both
+// directions: it never returns a shared node and never installs one, so
+// insert/delete/split can edit entry slices freely. Coherence with
+// readers is re-established by the writeNode that follows every mutation
+// (Buffer.Write clears the page's decoded slot).
+func (t *Tree) ReadNodeMut(id storage.PageID) *Node {
 	return decodeNode(t.buf.Read(id), t.kind)
 }
 
-// readNodeQuiet reads a node without disturbing the I/O counters; it is
-// used by structural bookkeeping (page counting, invariant checks) that is
-// not part of any measured algorithm.
+// readNodeQuiet reads a (shared, read-only) node without disturbing the
+// I/O counters; it is used by structural bookkeeping (page counting,
+// invariant checks) that is not part of any measured algorithm.
 func (t *Tree) readNodeQuiet(id storage.PageID) *Node {
 	snapshot := t.buf.Stats()
-	n := t.ReadNode(id)
+	n := t.ReadNodeStable(id)
+	t.buf.RestoreStats(snapshot)
+	return n
+}
+
+// readNodeQuietMut is readNodeQuiet for mutation paths: a private,
+// counter-silent copy.
+func (t *Tree) readNodeQuietMut(id storage.PageID) *Node {
+	snapshot := t.buf.Stats()
+	n := t.ReadNodeMut(id)
 	t.buf.RestoreStats(snapshot)
 	return n
 }

@@ -25,7 +25,11 @@ type cachedResult struct {
 	Pairs []core.Pair
 	Count int64
 	Pages int64
-	CPU   time.Duration
+	// DecodeHits counts node accesses the run served from the decoded-node
+	// cache (storage.Stats.DecodeHits summed over the run's buffers) —
+	// CPU work avoided, never I/O.
+	DecodeHits int64
+	CPU        time.Duration
 }
 
 // resultCache is the versioned LRU of join results. Versioned keys make

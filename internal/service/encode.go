@@ -147,6 +147,9 @@ type StatsResponse struct {
 	JoinsServed   int64         `json:"joins_served"`
 	JoinsComputed int64         `json:"joins_computed"`
 	PageAccesses  int64         `json:"page_accesses"`
+	// DecodeHits sums the decoded-node cache hits of computed joins: node
+	// accesses that skipped page re-parsing (CPU saved, I/O untouched).
+	DecodeHits int64 `json:"decode_hits"`
 	CacheHits     int64         `json:"cache_hits"`
 	CacheMisses   int64         `json:"cache_misses"`
 	CacheEntries  int           `json:"cache_entries"`
@@ -170,6 +173,7 @@ func (s *Service) StatsSnapshot() StatsResponse {
 		JoinsServed:   s.joinsServed.Load(),
 		JoinsComputed: s.joinsComputed.Load(),
 		PageAccesses:  s.pageAccesses.Load(),
+		DecodeHits:    s.decodeHits.Load(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
 		CacheEntries:  entries,

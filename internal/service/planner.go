@@ -115,7 +115,7 @@ type execHooks struct {
 func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks) *cachedResult {
 	start := time.Now()
 	var res core.Result
-	var pages int64
+	var pages, decodeHits int64
 	switch pl.Algo {
 	case "grid":
 		// The in-memory backend joins the raw pointsets: no tree view, no
@@ -132,6 +132,7 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks) *cache
 		// setting of the paper); with per-dataset disks the request's I/O
 		// is the sum over both private views.
 		pages = rp.Buffer().Stats().PageAccesses() + rq.Buffer().Stats().PageAccesses()
+		decodeHits = rp.Buffer().Stats().DecodeHits + rq.Buffer().Stats().DecodeHits
 	case "parallel":
 		rp, rq := left.View(), right.View()
 		opts := parallel.DefaultOptions()
@@ -140,6 +141,7 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks) *cache
 		opts.OnProgress = hooks.onProgress
 		res = parallel.Join(rp, rq, dataset.Domain, opts)
 		pages = res.Stats.PageAccesses() // partition traversal + all worker forks
+		decodeHits = res.Stats.Mat.DecodeHits + res.Stats.Join.DecodeHits
 	case "pm", "fm":
 		rp, rq := buildScratchEnv(left.Points, right.Points, s.cfg.BufferPct)
 		opts := core.DefaultOptions()
@@ -150,14 +152,16 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks) *cache
 			res = core.FMCIJ(rp, rq, dataset.Domain, opts)
 		}
 		pages = res.Stats.PageAccesses() // MAT + JOIN on the shared scratch buffer
+		decodeHits = res.Stats.Mat.DecodeHits + res.Stats.Join.DecodeHits
 	default:
 		panic("service: unplanned algo " + pl.Algo)
 	}
 	return &cachedResult{
-		Pairs: res.Pairs,
-		Count: int64(len(res.Pairs)),
-		Pages: pages,
-		CPU:   time.Since(start),
+		Pairs:      res.Pairs,
+		Count:      int64(len(res.Pairs)),
+		Pages:      pages,
+		DecodeHits: decodeHits,
+		CPU:        time.Since(start),
 	}
 }
 

@@ -40,6 +40,7 @@ type Service struct {
 	joinsServed   atomic.Int64 // all successful joins, cache hits included
 	joinsComputed atomic.Int64 // joins that actually executed an algorithm
 	pageAccesses  atomic.Int64 // physical I/O summed over computed joins
+	decodeHits    atomic.Int64 // decoded-node cache hits summed over computed joins
 	ingests       atomic.Int64
 }
 
@@ -192,6 +193,7 @@ func (s *Service) compute(ctx context.Context, key string, pl Plan, left, right 
 	s.joinsServed.Add(1)
 	s.joinsComputed.Add(1)
 	s.pageAccesses.Add(res.Pages)
+	s.decodeHits.Add(res.DecodeHits)
 	return &Outcome{Result: res, Plan: pl, Left: left, Right: right}, nil
 }
 

@@ -17,6 +17,8 @@
 package voronoi
 
 import (
+	"math"
+
 	"cij/internal/geom"
 	"cij/internal/pq"
 	"cij/internal/rtree"
@@ -55,8 +57,16 @@ func CanRefinePoint(vertices []geom.Point, pi, pj geom.Point, rad2 float64) bool
 	if pi.Dist2(pj) >= 4*rad2 {
 		return false
 	}
+	// dist²(pj,γ) < dist²(pi,γ) unrolls to 2(pj−pi)·γ > |pj|² − |pi|² —
+	// one dot product per vertex instead of two squared distances. This is
+	// the bisector's own sidedness function, so a sub-tolerance rounding
+	// difference against the distance form cannot change what the clipper
+	// does with the answer: a vertex this close to the bisector is a no-op
+	// clip either way.
+	nx, ny := 2*(pj.X-pi.X), 2*(pj.Y-pi.Y)
+	c := pj.X*pj.X + pj.Y*pj.Y - pi.X*pi.X - pi.Y*pi.Y
 	for _, g := range vertices {
-		if pj.Dist2(g) < pi.Dist2(g) {
+		if nx*g.X+ny*g.Y > c {
 			return true
 		}
 	}
@@ -93,10 +103,13 @@ func CanRefineMBR(vertices []geom.Point, pi geom.Point, r geom.Rect, rad2 float6
 // must be Cloned (or copied into caller-owned storage) to be retained.
 // A Workspace is not safe for concurrent use.
 type Workspace struct {
-	q     pq.Queue
-	clips []geom.Clipper // one per group member, reused across calls
-	rad2  []float64      // per-cell squared circumradius around its site
-	pts   []geom.Point   // centroid scratch
+	q       pq.Queue
+	clips   []geom.Clipper // one per group member, reused across calls
+	rad2    []float64      // per-cell squared circumradius around its site
+	pts     []geom.Point   // centroid scratch
+	anchorD []float64      // per-cell distance anchor→site, fixed per batch
+	thresh  []float64      // per-cell retirement key, see BatchVoronoi
+	active  []int          // cell indexes not yet retired
 }
 
 // ensureClips grows the per-cell clipper pool to at least n entries.
@@ -125,14 +138,28 @@ func (ws *Workspace) BFVor(t *rtree.Tree, pi Site, domain geom.Rect) geom.Polygo
 	q.PushNode(t.ReadNode(t.Root()), pi.Pt)
 	for q.Len() > 0 {
 		e := q.Pop()
+		// Entries arrive in ascending mindist from pi; once the next key
+		// reaches 2·radius, Lemma 1/2's O(1) prefilter rejects this entry
+		// and every remaining one, so the tail of the queue is drained
+		// wholesale. No entry that could have refined — and no child read —
+		// is skipped: pruned internal entries were never expanded anyway.
+		if e.Key >= 4*rad2 {
+			q.Reset()
+			break
+		}
 		if e.Leaf {
-			if e.ID == pi.ID {
+			if e.Ref == pi.ID {
 				continue
 			}
 			// Lemma 1: pj refines only if some vertex is closer to pj than
 			// to pi.
-			if CanRefinePoint(cell.V, pi.Pt, e.Pt, rad2) {
-				cell = cl.Clip(cell, geom.Bisector(pi.Pt, e.Pt))
+			pt := e.Pt()
+			// CanRefinePoint's vertex scan is the clip's own prescan, so a
+			// pass goes straight to the copying clip (a within-tolerance
+			// pass re-emits the identical ring and recomputes the identical
+			// radius — bit-equal either way).
+			if CanRefinePoint(cell.V, pi.Pt, pt, rad2) {
+				cell = cl.Clip(cell, geom.Bisector(pi.Pt, pt))
 				rad2 = geom.MaxDist2(cell.V, pi.Pt)
 			}
 			continue
@@ -141,7 +168,7 @@ func (ws *Workspace) BFVor(t *rtree.Tree, pi Site, domain geom.Rect) geom.Polygo
 		if !CanRefineMBR(cell.V, pi.Pt, e.MBR, rad2) {
 			continue
 		}
-		q.PushNode(t.ReadNode(e.Child), pi.Pt)
+		q.PushNode(t.ReadNode(e.Child()), pi.Pt)
 	}
 	return cell
 }
@@ -176,27 +203,81 @@ func (ws *Workspace) BatchVoronoi(t *rtree.Tree, group []Site, domain geom.Rect,
 		ws.rad2 = append(ws.rad2, geom.MaxDist2(cells[i].Poly.V, s.Pt))
 	}
 	anchor := geom.Centroid(ws.pts)
+	// Cell retirement. The queue pops entries in ascending mindist from
+	// the anchor, and an entry at key k can only refine cell i if
+	// k < thresh_i = (dist(anchor, site_i) + 2·rad_i)²: by the triangle
+	// inequality, every point of the entry is at least
+	// √k − dist(anchor, site_i) ≥ 2·rad_i from site_i, which is exactly
+	// the regime Lemma 1/2's O(1) prefilter rejects. Keys only grow and
+	// radii only shrink, so once k reaches thresh_i the cell is FINISHED —
+	// no later entry can touch it — and it leaves the active list for
+	// good. The scan loops then run over the shrinking active set, and an
+	// empty set drains the queue outright. Retirement skips only
+	// provably-rejected tests: cells, reads and clip sequences are
+	// bit-identical to the full scans.
+	ws.anchorD = ws.anchorD[:0]
+	ws.thresh = ws.thresh[:0]
+	ws.active = ws.active[:0]
+	for i, s := range group {
+		ad := anchor.Dist(s.Pt)
+		ws.anchorD = append(ws.anchorD, ad)
+		d := ad + 2*math.Sqrt(ws.rad2[i])
+		ws.thresh = append(ws.thresh, d*d)
+		ws.active = append(ws.active, i)
+	}
+	sinceRetire := 0
 
 	q := &ws.q
 	q.Reset()
 	q.PushNode(t.ReadNode(t.Root()), anchor)
 	for q.Len() > 0 {
 		e := q.Pop()
+		// Retire cells whose threshold the current key has reached, every
+		// few pops (lingering cells are harmless: their Lemma 1/2
+		// prefilter rejects the same entries one comparison later).
+		// Swap-removal is fine: each cell clips through its own clipper,
+		// so cross-cell scan order is immaterial.
+		if sinceRetire++; sinceRetire >= 8 {
+			sinceRetire = 0
+			for k := 0; k < len(ws.active); {
+				if e.Key >= ws.thresh[ws.active[k]] {
+					ws.active[k] = ws.active[len(ws.active)-1]
+					ws.active = ws.active[:len(ws.active)-1]
+				} else {
+					k++
+				}
+			}
+			if len(ws.active) == 0 {
+				q.Reset()
+				break
+			}
+		}
 		if e.Leaf {
-			for i := range cells {
-				c := &cells[i]
-				if e.ID == c.Site.ID {
+			pt := e.Pt()
+			for _, i := range ws.active {
+				// Same bound as retirement, per entry: a key past the cell's
+				// threshold cannot pass the Lemma 1 prefilter.
+				if e.Key >= ws.thresh[i] {
 					continue
 				}
-				if CanRefinePoint(c.Poly.V, c.Site.Pt, e.Pt, ws.rad2[i]) {
-					c.Poly = ws.clips[i].Clip(c.Poly, geom.Bisector(c.Site.Pt, e.Pt))
+				c := &cells[i]
+				if e.Ref == c.Site.ID {
+					continue
+				}
+				if CanRefinePoint(c.Poly.V, c.Site.Pt, pt, ws.rad2[i]) {
+					c.Poly = ws.clips[i].Clip(c.Poly, geom.Bisector(c.Site.Pt, pt))
 					ws.rad2[i] = geom.MaxDist2(c.Poly.V, c.Site.Pt)
+					d := ws.anchorD[i] + 2*math.Sqrt(ws.rad2[i])
+					ws.thresh[i] = d * d
 				}
 			}
 			continue
 		}
 		refinesAny := false
-		for i := range cells {
+		for _, i := range ws.active {
+			if e.Key >= ws.thresh[i] {
+				continue
+			}
 			if CanRefineMBR(cells[i].Poly.V, cells[i].Site.Pt, e.MBR, ws.rad2[i]) {
 				refinesAny = true
 				break
@@ -205,7 +286,7 @@ func (ws *Workspace) BatchVoronoi(t *rtree.Tree, group []Site, domain geom.Rect,
 		if !refinesAny {
 			continue
 		}
-		q.PushNode(t.ReadNode(e.Child), anchor)
+		q.PushNode(t.ReadNode(e.Child()), anchor)
 	}
 	return dst
 }

@@ -33,11 +33,20 @@ if ! grep -q '^Benchmark' <<<"$raw"; then
 	exit 1
 fi
 
+# Host metadata: a perf trajectory is uninterpretable without it — a flat
+# parallel speedup curve is damning on a 32-core box and expected on a
+# 1-CPU runner, and only the record itself can say which one measured it.
+# The block comes from exp.Host() (via `cijbench -hostinfo`), the same
+# source WriteServeJSON/WriteGridJSON embed, so all three BENCH_*.json
+# documents of one run describe the machine identically.
+host_json=$(go run ./cmd/cijbench -hostinfo)
+
 {
 	printf '{\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "host": %s,\n' "$host_json"
 	printf '  "benchtime": "%s",\n' "$benchtime"
 	printf '  "benchmarks": [\n'
 	echo "$raw" | awk '
