@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-grid scal serve smoke-server bench-service
+.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-grid scal serve smoke-server bench-service metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,15 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-check: build vet race prop
+check: build vet race prop metrics-smoke
+
+# Observability slice under the race detector: the obs metric/trace
+# primitives (concurrent scrape-while-mutate, shared-trace Add) and the
+# service-level reconciliation tests (trace sums == response stats,
+# /metrics deltas == per-query stats, explain, slow-query log).
+metrics-smoke:
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -race -run 'TestTrace|TestMetrics|TestStreamTrace|TestExplainDoesNotExecute|TestSlowQueryLog|TestRequestLog' ./internal/service/...
 
 # Property-based equivalence harness (internal/check): the fixed seed
 # matrix holding NM ≡ PM ≡ FM ≡ parallel ≡ grid ≡ brute, plus the

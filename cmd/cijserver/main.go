@@ -1,13 +1,16 @@
 // Command cijserver serves common-influence joins over HTTP: named
 // versioned datasets, planned execution (serial NM/PM/FM or the
-// partitioned parallel engine), a versioned LRU result cache and
-// progressive NDJSON streaming. See internal/service for the architecture
-// and the README "Serving CIJ" section for curl examples.
+// partitioned parallel engine), a versioned LRU result cache, progressive
+// NDJSON streaming and an observability surface (Prometheus-style
+// /metrics, structured JSON logs, per-query phase traces, optional pprof).
+// See internal/service for the architecture and the README "Serving CIJ"
+// and "Observability" sections for curl examples.
 //
 // Usage:
 //
 //	cijserver -addr :8080
 //	cijserver -addr :8080 -preload "a=uniform:20000,b=clustered:20000"
+//	cijserver -addr :8080 -slow 250ms -log-level debug -debug
 //
 // Preload specs are name=kind:n pairs (kind uniform or clustered, or a
 // Table I code with no :n), loaded before the listener starts.
@@ -18,9 +21,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,22 +38,40 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		admit   = flag.Int("admit", 0, "max concurrent join executions (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 0, "result cache entries (0 = default 64, -1 = disabled)")
-		buffer  = flag.Float64("buffer", 0, "per-dataset LRU buffer, % of data pages (0 = paper's 2%)")
-		preload = flag.String("preload", "", "datasets to load at startup: name=kind:n[,name=kind:n...]")
+		addr     = flag.String("addr", ":8080", "listen address")
+		admit    = flag.Int("admit", 0, "max concurrent join executions (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 0, "result cache entries (0 = default 64, -1 = disabled)")
+		buffer   = flag.Float64("buffer", 0, "per-dataset LRU buffer, % of data pages (0 = paper's 2%)")
+		preload  = flag.String("preload", "", "datasets to load at startup: name=kind:n[,name=kind:n...]")
+		slow     = flag.Duration("slow", 0, "slow-query threshold; joins slower than this log their full phase trace (0 = off)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		debug    = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	svc := service.New(service.Config{
 		BufferPct:     *buffer,
 		CacheEntries:  *cache,
 		MaxConcurrent: *admit,
+		Logger:        logger,
+		SlowQuery:     *slow,
 	})
-	if err := preloadDatasets(svc, *preload); err != nil {
+	if err := preloadDatasets(svc, logger, *preload); err != nil {
 		fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
 		os.Exit(2)
+	}
+
+	handler := svc.Handler()
+	if *debug {
+		handler = withPprof(handler)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -57,9 +79,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("cijserver listening on %s", ln.Addr())
+	logger.Info("cijserver listening", "addr", ln.Addr().String())
 
-	srv := &http.Server{Handler: logRequests(svc.Handler())}
+	srv := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -72,15 +94,45 @@ func main() {
 			os.Exit(1)
 		}
 	case <-sig:
-		log.Printf("cijserver shutting down")
+		logger.Info("cijserver shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
 	}
 }
 
+// parseLevel maps the -log-level flag onto a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// withPprof mounts the net/http/pprof handlers next to the service mux.
+// Registration is explicit (not the package's init side effect on
+// http.DefaultServeMux) so profiling stays opt-in via -debug.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", next)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // preloadDatasets parses and loads -preload specs ("name=uniform:20000").
-func preloadDatasets(svc *service.Service, specs string) error {
+func preloadDatasets(svc *service.Service, logger *slog.Logger, specs string) error {
 	if specs == "" {
 		return nil
 	}
@@ -110,16 +162,7 @@ func preloadDatasets(svc *service.Service, specs string) error {
 		if err != nil {
 			return fmt.Errorf("-preload %s: %v", name, err)
 		}
-		log.Printf("preloaded dataset %s: %d points, %d pages", d.Name, len(d.Points), d.Pages)
+		logger.Info("preloaded dataset", "name", d.Name, "points", len(d.Points), "pages", d.Pages)
 	}
 	return nil
-}
-
-// logRequests is a minimal access log.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
-	})
 }

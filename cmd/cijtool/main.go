@@ -23,7 +23,9 @@ import (
 	"cij/internal/exp"
 	"cij/internal/geom"
 	"cij/internal/grid"
+	"cij/internal/obs"
 	"cij/internal/service"
+	"cij/internal/storage"
 	"cij/internal/voronoi"
 )
 
@@ -110,6 +112,7 @@ func runJoin(args []string) error {
 	algo := fs.String("algo", "nm", "algorithm: nm, pm, fm, or grid (in-memory, no index)")
 	showPairs := fs.Bool("pairs", false, "print every pair (indexes into the input files)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON on stdout (the query service's JoinResponse encoding)")
+	withTrace := fs.Bool("trace", false, "record per-phase spans; printed to stderr, and embedded in -json output")
 	buffer := fs.Float64("buffer", exp.DefaultBufferPct, "LRU buffer, % of data size")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,7 +136,12 @@ func runJoin(args []string) error {
 		}
 	}
 
+	var tr *obs.Trace
+	if *withTrace {
+		tr = obs.NewTrace()
+	}
 	var res core.Result
+	var io storage.Stats
 	var lowerBound int64
 	var elapsed time.Duration
 	if *algo == "grid" {
@@ -142,6 +150,7 @@ func runJoin(args []string) error {
 		opts := grid.DefaultOptions()
 		opts.CollectPairs = *asJSON
 		opts.OnPair = onPair
+		opts.Trace = tr
 		start := time.Now()
 		res = grid.Join(p, q, exp.Domain, opts)
 		elapsed = time.Since(start)
@@ -151,6 +160,7 @@ func runJoin(args []string) error {
 		opts := core.DefaultOptions()
 		opts.CollectPairs = *asJSON
 		opts.OnPair = onPair
+		opts.Trace = tr
 		start := time.Now()
 		switch *algo {
 		case "fm":
@@ -163,13 +173,15 @@ func runJoin(args []string) error {
 			return fmt.Errorf("join: unknown algorithm %q", *algo)
 		}
 		elapsed = time.Since(start)
+		io = res.Stats.Mat.Add(res.Stats.Join)
 	}
 
 	if *asJSON {
 		// The service's response encoding, verbatim (service/encode.go):
 		// one schema for CLI and server output.
 		resp := service.NewJoinResponse(*pPath, *qPath, *algo, 0,
-			res.Pairs, res.Stats.PageAccesses(), elapsed, 0)
+			res.Pairs, io, elapsed, 0)
+		resp.Trace = service.NewTraceJSON(tr.Spans(), tr.Dropped())
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(resp); err != nil {
@@ -180,6 +192,21 @@ func runJoin(args []string) error {
 	fmt.Fprintf(os.Stderr, "I/O: %d page accesses (MAT %d + JOIN %d), LB %d; CPU %v\n",
 		res.Stats.PageAccesses(), res.Stats.Mat.PageAccesses(), res.Stats.Join.PageAccesses(),
 		lowerBound, elapsed.Round(time.Millisecond))
+	if tr != nil {
+		fmt.Fprintln(os.Stderr, "trace:")
+		for _, sp := range tr.Spans() {
+			name := sp.Phase
+			if sp.Tag != "" {
+				name += "/" + sp.Tag
+			}
+			fmt.Fprintf(os.Stderr, "  %-14s %10v  reads=%d writes=%d logical=%d cand=%d hits=%d\n",
+				name, sp.Wall.Round(time.Microsecond),
+				sp.PagesRead, sp.PagesWritten, sp.LogicalReads, sp.Candidates, sp.TrueHits)
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "  (%d spans folded into per-phase overflow rows)\n", d)
+		}
+	}
 	return nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"cij/internal/geom"
+	"cij/internal/obs"
 	"cij/internal/storage"
 	"cij/internal/voronoi"
 )
@@ -141,6 +142,10 @@ type Options struct {
 	// Ablation knob: the Hilbert order is what gives consecutive batches
 	// spatial locality, and with it buffer hits.
 	PlainVisitOrder bool
+	// Trace, when non-nil, receives per-phase spans (wall clock + I/O and
+	// filter-counter deltas) for the run. The nil default is free: no
+	// clock reads, no snapshots, no allocations on the batch hot path.
+	Trace *obs.Trace
 }
 
 // DefaultOptions returns the configuration used by the paper's

@@ -41,6 +41,7 @@ func FMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 	matIO := buf.Stats().Sub(matStart)
 	matCPU := time.Since(cpuStart)
 	col.sample() // blocking: zero pairs until here (Fig. 9b)
+	opts.Trace.Add("mat", "", matCPU, IOCounters(matIO))
 
 	// --- JOIN phase: ST intersection join over the Voronoi R-trees ---
 	joinStart := buf.Stats()
@@ -60,6 +61,7 @@ func FMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 	joinIO := buf.Stats().Sub(joinStart)
 	joinCPU := time.Since(cpuStart)
 	col.sample()
+	opts.Trace.Add("join", "", joinCPU, IOCounters(joinIO))
 
 	return Result{
 		Pairs: col.pairs,

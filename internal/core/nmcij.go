@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cij/internal/geom"
+	"cij/internal/obs"
 	"cij/internal/pq"
 	"cij/internal/rtree"
 	"cij/internal/storage"
@@ -34,16 +35,35 @@ func NMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 	cpuStart := time.Now()
 
 	pipeline := NewBatchPipeline(rp, rq, domain, opts.Reuse)
+	tr := opts.Trace
+	pipeline.SetTrace(tr, "")
 	visit := func(fn func(*rtree.Node)) { rq.VisitLeavesHilbert(domain, fn) }
 	if opts.PlainVisitOrder {
 		visit = rq.VisitLeaves
 	}
+	// Traverse spans cover the gaps between batches — the leaf traversal's
+	// own page reads happen between ProcessBatch calls, so chaining a
+	// boundary point across the callback keeps every page of the run
+	// attributed to exactly one span.
+	var tp phasePoint
+	if tr.Enabled() {
+		tp = markPhase(rp, rq)
+	}
 	var sites []voronoi.Site // reused across leaves; ProcessBatch does not retain it
 	visit(func(leaf *rtree.Node) {
+		if tr.Enabled() {
+			tp = endPhase(tr, "", tp, rp, rq, "traverse", obs.Counters{Items: 1})
+		}
 		sites = voronoi.AppendSites(sites[:0], leaf)
 		pipeline.ProcessBatch(sites, col.emit)
 		col.sample()
+		if tr.Enabled() {
+			tp = markPhase(rp, rq)
+		}
 	})
+	if tr.Enabled() {
+		endPhase(tr, "", tp, rp, rq, "traverse", obs.Counters{})
+	}
 
 	stats := pipeline.FilterStats()
 	stats.Join = buf.Stats().Sub(col.base)

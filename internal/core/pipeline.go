@@ -2,6 +2,7 @@ package core
 
 import (
 	"cij/internal/geom"
+	"cij/internal/obs"
 	"cij/internal/rtree"
 	"cij/internal/voronoi"
 )
@@ -36,6 +37,13 @@ type BatchPipeline struct {
 	// fills, so no map is ever reallocated.
 	reuse, spare map[int64]geom.Polygon
 	stats        Stats
+
+	// tr, when non-nil, receives one span per pipeline phase per batch
+	// (folded by phase, so a run yields four spans: voronoi, filter,
+	// refine, join). traceTag distinguishes pipelines sharing a trace —
+	// the parallel engine tags each worker's pipeline.
+	tr       *obs.Trace
+	traceTag string
 
 	// Per-batch scratch, reused across ProcessBatch calls.
 	wsQ, wsP       voronoi.Workspace // separate: P refinement must not clobber the batch's Q cells
@@ -83,16 +91,37 @@ func NewBatchPipeline(rp, rq *rtree.Tree, domain geom.Rect, reuse bool) *BatchPi
 	}
 }
 
+// SetTrace attaches a phase tracer to the pipeline: every subsequent
+// ProcessBatch records voronoi/filter/refine/join spans (wall clock plus
+// I/O and filter-counter deltas) under the given tag. A nil trace — the
+// default — keeps the batch loop entirely clock- and allocation-free.
+func (bp *BatchPipeline) SetTrace(tr *obs.Trace, tag string) {
+	bp.tr = tr
+	bp.traceTag = tag
+}
+
 // ProcessBatch runs one batch (the sites of one Q-leaf) through the
 // filter + refinement + join pipeline, calling emit for every result pair.
 // The group slice is not retained.
 func (bp *BatchPipeline) ProcessBatch(group []voronoi.Site, emit func(Pair)) {
+	traced := bp.tr.Enabled()
+	var pc phasePoint
+	if traced {
+		pc = markPhase(bp.rp, bp.rq)
+	}
+
 	bp.qScratch = bp.wsQ.BatchVoronoi(bp.rq, group, bp.domain, bp.qScratch[:0])
 	bp.qCells = appendRecords(bp.qCells[:0], bp.qScratch)
+	if traced {
+		pc = endPhase(bp.tr, bp.traceTag, pc, bp.rp, bp.rq, "voronoi", obs.Counters{Items: 1})
+	}
 
 	// Filter phase: candidates from P whose cells may reach the batch.
 	candidates := bp.fs.run(bp.rp, bp.qCells, bp.domain)
 	bp.stats.Candidates += int64(len(candidates))
+	if traced {
+		pc = endPhase(bp.tr, bp.traceTag, pc, bp.rp, bp.rq, "filter", obs.Counters{Candidates: int64(len(candidates))})
+	}
 
 	// Refinement phase: exact cells for all candidates, reusing the
 	// previous batch's computations when enabled. Every cell — reused or
@@ -138,8 +167,12 @@ func (bp *BatchPipeline) ProcessBatch(group []voronoi.Site, emit func(Pair)) {
 		bp.spare = bp.reuse
 		bp.reuse = next
 	}
+	if traced {
+		pc = endPhase(bp.tr, bp.traceTag, pc, bp.rp, bp.rq, "refine", obs.Counters{PCells: int64(len(bp.fresh))})
+	}
 
 	// Join the batch.
+	hitsBefore := bp.stats.TrueHits
 	for i := range bp.pCells {
 		pc := &bp.pCells[i]
 		hit := false
@@ -156,6 +189,9 @@ func (bp *BatchPipeline) ProcessBatch(group []voronoi.Site, emit func(Pair)) {
 		if hit {
 			bp.stats.TrueHits++
 		}
+	}
+	if traced {
+		endPhase(bp.tr, bp.traceTag, pc, bp.rp, bp.rq, "join", obs.Counters{TrueHits: bp.stats.TrueHits - hitsBefore})
 	}
 }
 

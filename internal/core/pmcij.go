@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"cij/internal/geom"
+	"cij/internal/obs"
 	"cij/internal/rtree"
 	"cij/internal/voronoi"
 )
@@ -31,6 +32,8 @@ func PMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 	matIO := buf.Stats().Sub(matStart)
 	matCPU := time.Since(cpuStart)
 	col.sample()
+	tr := opts.Trace
+	tr.Add("mat", "", matCPU, IOCounters(matIO))
 
 	// --- JOIN phase: batched probes of Q cells into R'P ---
 	joinStart := buf.Stats()
@@ -42,10 +45,23 @@ func PMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 		qCells   []cellRecord
 		joinClip geom.Clipper
 	)
+	// Boundary points chain across the traversal callback (as in NMCIJ),
+	// so leaf-read I/O lands in traverse spans and every page of the join
+	// phase is attributed to exactly one span.
+	var tp phasePoint
+	if tr.Enabled() {
+		tp = markPhase(rp, rq)
+	}
 	rq.VisitLeavesHilbert(domain, func(leaf *rtree.Node) {
+		if tr.Enabled() {
+			tp = endPhase(tr, "", tp, rp, rq, "traverse", obs.Counters{Items: 1})
+		}
 		sites = voronoi.AppendSites(sites[:0], leaf)
 		cells = ws.BatchVoronoi(rq, sites, domain, cells[:0])
 		qCells = appendRecords(qCells[:0], cells)
+		if tr.Enabled() {
+			tp = endPhase(tr, "", tp, rp, rq, "voronoi", obs.Counters{})
+		}
 
 		// One range query window enclosing all cells of the batch.
 		window := geom.EmptyRect()
@@ -65,7 +81,13 @@ func PMCIJ(rp, rq *rtree.Tree, domain geom.Rect, opts Options) Result {
 			}
 		}
 		col.sample()
+		if tr.Enabled() {
+			tp = endPhase(tr, "", tp, rp, rq, "probe", obs.Counters{})
+		}
 	})
+	if tr.Enabled() {
+		endPhase(tr, "", tp, rp, rq, "traverse", obs.Counters{})
+	}
 	joinIO := buf.Stats().Sub(joinStart)
 	joinCPU := time.Since(cpuStart)
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cij/internal/dataset"
+	"cij/internal/obs"
 	"cij/internal/service"
 )
 
@@ -38,7 +39,11 @@ type ServeLoadOptions struct {
 	Cache bool
 }
 
-// ServeRow is one concurrency level of the serve benchmark.
+// ServeRow is one concurrency level of the serve benchmark. The client
+// quantiles come from exact per-request samples; the Server* quantiles are
+// interpolated from the service's own cij_http_request_seconds{route="join"}
+// histogram delta over the level (in-process runs only — a remote -addr
+// target's registry is not reachable, so they stay zero/omitted).
 type ServeRow struct {
 	Clients    int           `json:"clients"`
 	Requests   int64         `json:"requests"`
@@ -47,6 +52,10 @@ type ServeRow struct {
 	Throughput float64       `json:"req_per_sec"`
 	P50        time.Duration `json:"p50_ns"`
 	P95        time.Duration `json:"p95_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	ServerP50  time.Duration `json:"server_p50_ns,omitempty"`
+	ServerP95  time.Duration `json:"server_p95_ns,omitempty"`
+	ServerP99  time.Duration `json:"server_p99_ns,omitempty"`
 }
 
 // serveQueryMix is the rotating request mix: serial NM, the parallel
@@ -65,6 +74,7 @@ var serveQueryMix = []service.JoinRequest{
 // BENCH_service.json trajectory records.
 func RunServeLoad(opts ServeLoadOptions) ([]ServeRow, error) {
 	base := opts.Addr
+	var histProbe func() obs.HistSnapshot
 	if base == "" {
 		cacheEntries := -1
 		if opts.Cache {
@@ -84,6 +94,15 @@ func RunServeLoad(opts ServeLoadOptions) ([]ServeRow, error) {
 		ts := httptest.NewServer(svc.Handler())
 		defer ts.Close()
 		base = ts.URL
+		histProbe = func() obs.HistSnapshot {
+			// The series materializes on the first /join request, so the
+			// pre-level probe may still find nothing; the zero snapshot
+			// subtracts cleanly.
+			if h := svc.Metrics().FindHistogram("cij_http_request_seconds", "join"); h != nil {
+				return h.Snapshot()
+			}
+			return obs.HistSnapshot{}
+		}
 	} else if base[0] == ':' {
 		base = "http://127.0.0.1" + base
 	} else if len(base) < 7 || (base[:7] != "http://" && base[:8] != "https://") {
@@ -102,7 +121,7 @@ func RunServeLoad(opts ServeLoadOptions) ([]ServeRow, error) {
 	client := &http.Client{Timeout: 30 * time.Second}
 	var rows []ServeRow
 	for _, clients := range opts.Clients {
-		row, err := runServeLevel(client, base, bodies, clients, opts.Duration)
+		row, err := runServeLevel(client, base, bodies, clients, opts.Duration, histProbe)
 		if err != nil {
 			return nil, err
 		}
@@ -113,9 +132,13 @@ func RunServeLoad(opts ServeLoadOptions) ([]ServeRow, error) {
 
 // runServeLevel sustains one concurrency level: clients goroutines loop
 // over the query mix until the deadline, recording per-request latency.
-func runServeLevel(client *http.Client, base string, bodies [][]byte, clients int, duration time.Duration) (ServeRow, error) {
+func runServeLevel(client *http.Client, base string, bodies [][]byte, clients int, duration time.Duration, histProbe func() obs.HistSnapshot) (ServeRow, error) {
 	if duration <= 0 {
 		duration = 2 * time.Second
+	}
+	var histBefore obs.HistSnapshot
+	if histProbe != nil {
+		histBefore = histProbe()
 	}
 	var (
 		stop     atomic.Bool
@@ -179,6 +202,14 @@ func runServeLevel(client *http.Client, base string, bodies [][]byte, clients in
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		row.P50 = lats[len(lats)*50/100]
 		row.P95 = lats[min(len(lats)*95/100, len(lats)-1)]
+		row.P99 = lats[min(len(lats)*99/100, len(lats)-1)]
+	}
+	if histProbe != nil {
+		if d := histProbe().Sub(histBefore); d.Count > 0 {
+			row.ServerP50 = time.Duration(d.Quantile(0.50) * float64(time.Second))
+			row.ServerP95 = time.Duration(d.Quantile(0.95) * float64(time.Second))
+			row.ServerP99 = time.Duration(d.Quantile(0.99) * float64(time.Second))
+		}
 	}
 	if succeeded == 0 {
 		return row, fmt.Errorf("serve load: no successful request at %d clients (%d attempts, %d errors — server unreachable or missing the load_p/load_q datasets?)",
@@ -187,11 +218,20 @@ func runServeLevel(client *http.Client, base string, bodies [][]byte, clients in
 	return row, nil
 }
 
-// TableServe renders the serve benchmark rows.
+// TableServe renders the serve benchmark rows. The srv p95 column is the
+// server's own request-latency histogram quantile ("-" when the target is
+// remote and its registry unreachable); comparing it to the client p95
+// isolates client/transport overhead from serving latency.
 func TableServe(rows []ServeRow) Table {
 	t := Table{
 		Title:   "Serve — sustained join throughput vs concurrent clients (POST /join, cache off)",
-		Columns: []string{"clients", "requests", "errors", "req/s", "p50", "p95"},
+		Columns: []string{"clients", "requests", "errors", "req/s", "p50", "p95", "p99", "srv p95", "srv p99"},
+	}
+	srvCol := func(d time.Duration) string {
+		if d == 0 {
+			return "-"
+		}
+		return d.Round(time.Microsecond * 10).String()
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
@@ -201,6 +241,9 @@ func TableServe(rows []ServeRow) Table {
 			fmt.Sprintf("%.1f", r.Throughput),
 			r.P50.Round(time.Microsecond * 10).String(),
 			r.P95.Round(time.Microsecond * 10).String(),
+			r.P99.Round(time.Microsecond * 10).String(),
+			srvCol(r.ServerP95),
+			srvCol(r.ServerP99),
 		})
 	}
 	return t

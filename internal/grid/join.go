@@ -1,10 +1,12 @@
 package grid
 
 import (
+	"fmt"
 	"time"
 
 	"cij/internal/core"
 	"cij/internal/geom"
+	"cij/internal/obs"
 	"cij/internal/voronoi"
 )
 
@@ -20,6 +22,13 @@ type Options struct {
 	OnPair func(core.Pair)
 	// CollectPairs controls whether Result.Pairs is populated.
 	CollectPairs bool
+	// Trace, when non-nil, receives per-phase spans: "voronoi" (tagged
+	// "p"/"q") for the diagram builds, "replicate" for the PBSM tiling,
+	// one "tile" span per non-empty tile tagged "r,c" (folding into the
+	// per-phase overflow span past the trace's cap), and an aggregate
+	// "join" span. The backend performs no I/O, so spans carry only wall
+	// clock and the filter-quality counters. Nil costs nothing.
+	Trace *obs.Trace
 }
 
 // DefaultOptions mirrors core.DefaultOptions for the grid backend: pairs
@@ -53,16 +62,38 @@ func Join(p, q []geom.Point, domain geom.Rect, opts Options) core.Result {
 		return res
 	}
 
+	tr := opts.Trace
 	var ds diagramScratch
+	phaseStart := start
 	cellsP := buildDiagram(voronoi.MakeSites(p), newTileGrid(domain, len(p), opts.TargetPerCell), &ds)
+	if tr.Enabled() {
+		// PCells rides the P span only, so the trace total matches
+		// Stats.PCellsComputed; the Q diagram reports plain item count.
+		now := time.Now()
+		tr.Add("voronoi", "p", now.Sub(phaseStart), obs.Counters{PCells: int64(len(p))})
+		phaseStart = now
+	}
 	cellsQ := buildDiagram(voronoi.MakeSites(q), newTileGrid(domain, len(q), opts.TargetPerCell), &ds)
+	if tr.Enabled() {
+		tr.Add("voronoi", "q", time.Since(phaseStart), obs.Counters{Items: int64(len(q))})
+	}
 	res.Stats.MatCPU = time.Since(start)
 
 	joinStart := time.Now()
 	g := newTileGrid(domain, len(p)+len(q), opts.TargetPerCell)
 	repP := replicate(cellsP, g)
 	repQ := replicate(cellsQ, g)
+	if tr.Enabled() {
+		tr.Add("replicate", "", time.Since(joinStart), obs.Counters{Items: int64(g.tiles())})
+		phaseStart = time.Now()
+	}
 	joinTiles(g, cellsP, cellsQ, repP, repQ, opts, &res)
+	if tr.Enabled() {
+		// Aggregate span over all tiles; its wall overlaps the per-tile
+		// spans (which carry the Candidates/TrueHits deltas), so it adds
+		// no counters beyond the tile count.
+		tr.Add("join", "", time.Since(phaseStart), obs.Counters{Items: int64(g.tiles())})
+	}
 	res.Stats.JoinCPU = time.Since(joinStart)
 	return res
 }
@@ -115,12 +146,21 @@ func replicate(cells []cellInfo, g tileGrid) buckets {
 // slack the MBR Intersects tolerance can introduce — so of all tiles that
 // see the pair, exactly one owns it, and no cross-tile state is needed.
 func joinTiles(g tileGrid, cellsP, cellsQ []cellInfo, repP, repQ buckets, opts Options, res *core.Result) {
+	tr := opts.Trace
 	var cl geom.Clipper
 	for t := 0; t < g.tiles(); t++ {
 		ps := repP.ids[repP.start[t]:repP.start[t+1]]
 		qs := repQ.ids[repQ.start[t]:repQ.start[t+1]]
 		if len(ps) == 0 || len(qs) == 0 {
 			continue
+		}
+		// Per-tile spans only for tiles with work on both sides; a fine
+		// grid folds the long tail into the (tile, other) overflow span.
+		var tileStart time.Time
+		var candBefore, hitsBefore int64
+		if tr.Enabled() {
+			tileStart = time.Now()
+			candBefore, hitsBefore = res.Stats.Candidates, res.Stats.TrueHits
 		}
 		tx, ty := t%g.nx, t/g.nx
 		for _, pi := range ps {
@@ -147,6 +187,13 @@ func joinTiles(g tileGrid, cellsP, cellsQ []cellInfo, repP, repQ buckets, opts O
 					}
 				}
 			}
+		}
+		if tr.Enabled() {
+			tr.Add("tile", fmt.Sprintf("%d,%d", ty, tx), time.Since(tileStart), obs.Counters{
+				Candidates: res.Stats.Candidates - candBefore,
+				TrueHits:   res.Stats.TrueHits - hitsBefore,
+				Items:      1,
+			})
 		}
 	}
 }

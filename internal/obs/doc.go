@@ -1,0 +1,41 @@
+// Package obs is the repo's dependency-free observability substrate: a
+// metrics core with Prometheus text exposition and a per-query phase
+// tracer. It exists because the paper's whole argument is cost accounting
+// — NM-CIJ wins on page accesses — and a production serving tier needs
+// that accounting per query and per phase, not as one aggregate dump.
+//
+// # Metrics
+//
+// A Registry holds named metric families — counters, gauges and
+// fixed-bucket histograms, optionally labeled — and renders them in the
+// Prometheus text exposition format (version 0.0.4) via WriteTo or the
+// http.Handler returned by Handler. All mutation paths are atomic and
+// safe for concurrent use; scrapes never block writers.
+//
+//	reg := obs.NewRegistry()
+//	joins := reg.CounterVec("cij_joins_total", "Completed joins.", "algo")
+//	lat := reg.Histogram("cij_join_seconds", "Join latency.", obs.DefLatencyBuckets)
+//	joins.With("nm").Inc()
+//	lat.Observe(0.042)
+//
+// Histograms expose Snapshot (a consistent-enough copy of bucket counts)
+// with Quantile estimation by linear interpolation inside the bucket, the
+// mechanism behind the p50/p95/p99 columns of BENCH_service.json.
+//
+// # Tracing
+//
+// A Trace accumulates phase-aggregated spans for one query: each
+// Add(phase, tag, wall, counters) call folds into the span keyed
+// (phase, tag), so a thousand-batch NM-CIJ run yields a handful of spans
+// (traverse, voronoi, filter, refine, join), and a parallel run yields
+// the same set once per worker tag. Counters carry the storage.Stats
+// vocabulary (logical reads, pages read/written, decode hits/misses)
+// plus the filter-quality counters, so the per-phase deltas of a traced
+// join sum exactly to the run's aggregate Stats — the accounting
+// invariance the service tests pin.
+//
+// A nil *Trace is the disabled tracer: every method is a nil-safe no-op,
+// and callers guard their time.Now/snapshot work behind Enabled, so the
+// hot join loops pay zero allocations and zero clock reads when tracing
+// is off (see the alloc-guard tests in internal/core).
+package obs

@@ -7,6 +7,7 @@ import (
 
 	"cij/internal/core"
 	"cij/internal/geom"
+	"cij/internal/obs"
 	"cij/internal/rtree"
 )
 
@@ -47,6 +48,11 @@ type Options struct {
 	// interleaves worker streams and is not deterministic across runs;
 	// the pair SET is always identical to serial NM-CIJ's.
 	CollectPairs bool
+	// Trace, when non-nil, receives per-phase spans: one "partition" span
+	// for the unit split, each worker's pipeline phases tagged "w<id>"
+	// (workers record concurrently; obs.Trace.Add is thread-safe), and one
+	// "merge" span for the event fan-in. Nil costs nothing.
+	Trace *obs.Trace
 }
 
 // DefaultOptions mirrors core.DefaultOptions for the parallel engine:
@@ -82,6 +88,8 @@ func Join(rp, rq *rtree.Tree, domain geom.Rect, opts Options) core.Result {
 	qBase := rq.Buffer().Stats()
 	units := PartitionLeaves(rq, domain, workers*unitsPer, opts.Balanced)
 	partitionIO := rq.Buffer().Stats().Sub(qBase)
+	tr := opts.Trace
+	tr.Add("partition", "", time.Since(start), core.IOCounters(partitionIO).Add(obs.Counters{Items: int64(len(units))}))
 	if len(units) < workers {
 		workers = len(units)
 	}
@@ -96,7 +104,7 @@ func Join(rp, rq *rtree.Tree, domain geom.Rect, opts Options) core.Result {
 	events := make(chan event, workers*2)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
-		w := newWorker(i, rp, rq, domain, capP, capQ, opts.Reuse)
+		w := newWorker(i, rp, rq, domain, capP, capQ, opts.Reuse, tr)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -114,7 +122,12 @@ func Join(rp, rq *rtree.Tree, domain geom.Rect, opts Options) core.Result {
 		close(events)
 	}()
 
+	mergeStart := time.Now()
 	pairs, stats := merge(events, workers, partitionIO, opts)
+	// The merge drains events concurrently with the workers, so its wall
+	// span overlaps theirs — it measures fan-in latency, not extra work,
+	// and carries no I/O (the merge only folds counters).
+	tr.Add("merge", "", time.Since(mergeStart), obs.Counters{Items: int64(workers)})
 	stats.JoinCPU = time.Since(start)
 	return core.Result{Pairs: pairs, Stats: stats}
 }

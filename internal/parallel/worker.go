@@ -1,8 +1,11 @@
 package parallel
 
 import (
+	"fmt"
+
 	"cij/internal/core"
 	"cij/internal/geom"
+	"cij/internal/obs"
 	"cij/internal/rtree"
 	"cij/internal/storage"
 )
@@ -43,7 +46,7 @@ type worker struct {
 // (capP and capQ coincide there); trees with distinct buffers get
 // distinct forks even on a shared disk, keeping each side's cache memory
 // and I/O accounting aligned with its serial counterpart.
-func newWorker(id int, rp, rq *rtree.Tree, domain geom.Rect, capP, capQ int, reuse bool) *worker {
+func newWorker(id int, rp, rq *rtree.Tree, domain geom.Rect, capP, capQ int, reuse bool, tr *obs.Trace) *worker {
 	bufP := rp.Buffer().Fork(capP)
 	bufs := []*storage.Buffer{bufP}
 	bufQ := bufP
@@ -51,9 +54,17 @@ func newWorker(id int, rp, rq *rtree.Tree, domain geom.Rect, capP, capQ int, reu
 		bufQ = rq.Buffer().Fork(capQ)
 		bufs = append(bufs, bufQ)
 	}
+	pipe := core.NewBatchPipeline(rp.WithBuffer(bufP), rq.WithBuffer(bufQ), domain, reuse)
+	if tr.Enabled() {
+		// Workers share one trace; the tag separates their spans and
+		// Trace.Add serializes the concurrent recordings. All worker I/O
+		// happens inside ProcessBatch (units carry pre-extracted batches),
+		// so the pipeline spans cover the forks' counters exactly.
+		pipe.SetTrace(tr, fmt.Sprintf("w%d", id))
+	}
 	return &worker{
 		id:   id,
-		pipe: core.NewBatchPipeline(rp.WithBuffer(bufP), rq.WithBuffer(bufQ), domain, reuse),
+		pipe: pipe,
 		bufs: bufs,
 	}
 }

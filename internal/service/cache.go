@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"cij/internal/core"
+	"cij/internal/obs"
+	"cij/internal/storage"
 )
 
 // cacheKey canonicalizes one join computation: dataset names qualified by
@@ -24,12 +26,19 @@ func cacheKey(left, right *Dataset, algo string, workers int) string {
 type cachedResult struct {
 	Pairs []core.Pair
 	Count int64
-	Pages int64
-	// DecodeHits counts node accesses the run served from the decoded-node
-	// cache (storage.Stats.DecodeHits summed over the run's buffers) —
-	// CPU work avoided, never I/O.
-	DecodeHits int64
-	CPU        time.Duration
+	// IO is the physical and logical I/O aggregate of the run, summed over
+	// every buffer the request touched (both per-dataset views, or the
+	// shared scratch environment of the materializing algorithms). Its
+	// PageAccesses/DecodeHits projections feed the response stats, the
+	// /stats counters and the /metrics families, so all three layers
+	// reconcile by construction.
+	IO  storage.Stats
+	CPU time.Duration
+	// Trace holds the run's phase spans when the computation was traced
+	// (request opt-in or slow-query logging armed); nil otherwise. Cached
+	// hits replay the original run's spans.
+	Trace        []obs.Span
+	TraceDropped int64
 }
 
 // resultCache is the versioned LRU of join results. Versioned keys make

@@ -57,8 +57,25 @@
 //	                        progress lines from the parallel engine's
 //	                        OnProgress hook, then one summary line
 //	GET  /stats             counters: datasets, joins, cache, page accesses
+//	GET  /metrics           Prometheus text exposition of every family
 //
 // The buffered and streaming paths share one executor and one encoding
 // (encode.go); cmd/cijtool's -json flag emits the same JoinResponse, so
 // CLI and server outputs cannot drift.
+//
+// # Observability
+//
+// metrics.go registers the service's metric families on an internal/obs
+// registry: per-route request counters and latency histograms, per-algo
+// join counters and latency histograms, planner decisions, the I/O
+// counter families (pages read/written, logical reads, decode hits and
+// misses, buffer evictions via storage.Buffer.SetOnEvict on per-request
+// views), admission-queue wait/depth, and func-backed cache/registry
+// gauges. The I/O families are fed from the same storage.Stats aggregate
+// the response reports, so /metrics deltas reconcile with per-query stats
+// exactly. POST /join?explain=1 returns the planner's decision (plan,
+// reason, inputs) without executing; JoinRequest.Trace / &trace=1 attach
+// the per-phase obs.Trace spans to the response (or as a "trace" NDJSON
+// line); Config.SlowQuery arms a slow-query log that dumps the full phase
+// trace of any join over the threshold through Config.Logger (log/slog).
 package service

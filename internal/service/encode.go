@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"cij/internal/core"
+	"cij/internal/obs"
+	"cij/internal/storage"
 )
 
 // This file is the single JSON vocabulary of the service. cmd/cijtool's
@@ -21,9 +23,69 @@ type JoinStatsJSON struct {
 	// PageAccesses is the physical I/O of the run (0 when served from
 	// cache).
 	PageAccesses int64 `json:"page_accesses"`
+	// The I/O breakdown behind PageAccesses: physical reads and writes,
+	// node accesses (buffer hits included), and the decoded-node cache's
+	// hit/miss split. Omitted when zero (grid runs, cache hits).
+	PagesRead    int64 `json:"pages_read,omitempty"`
+	PagesWritten int64 `json:"pages_written,omitempty"`
+	LogicalReads int64 `json:"logical_reads,omitempty"`
+	DecodeHits   int64 `json:"decode_hits,omitempty"`
+	DecodeMisses int64 `json:"decode_misses,omitempty"`
 	// WallMS is the wall-clock time of the computation in milliseconds
 	// (the original run's when served from cache).
 	WallMS float64 `json:"wall_ms"`
+}
+
+// statsFromIO projects one run's I/O aggregate onto the wire form.
+func statsFromIO(io storage.Stats, wall time.Duration) JoinStatsJSON {
+	return JoinStatsJSON{
+		PageAccesses: io.PageAccesses(),
+		PagesRead:    io.PageReads,
+		PagesWritten: io.PageWrites,
+		LogicalReads: io.LogicalReads,
+		DecodeHits:   io.DecodeHits,
+		DecodeMisses: io.DecodeMisses,
+		WallMS:       float64(wall) / float64(time.Millisecond),
+	}
+}
+
+// TraceSpanJSON is one phase span of a traced join: phase name, optional
+// tag (worker id, tile coordinate), wall-clock share and the counters the
+// phase moved.
+type TraceSpanJSON struct {
+	Phase string `json:"phase"`
+	Tag   string `json:"tag,omitempty"`
+	// WallMS is the span's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	obs.Counters
+}
+
+// TraceJSON is the per-phase trace block of a traced join response. Span
+// I/O counters partition the run's aggregate Stats exactly (the obs
+// accounting invariance), so summing the spans reproduces the totals.
+type TraceJSON struct {
+	Spans []TraceSpanJSON `json:"spans"`
+	// Dropped counts spans folded into the per-phase "other" overflow rows
+	// when a run exceeded the span cap; 0 in ordinary runs.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// NewTraceJSON converts recorded spans to the wire form; nil when the run
+// was not traced. Exported for cmd/cijtool's `join -json -trace`.
+func NewTraceJSON(spans []obs.Span, dropped int64) *TraceJSON {
+	if spans == nil {
+		return nil
+	}
+	out := make([]TraceSpanJSON, len(spans))
+	for i, sp := range spans {
+		out[i] = TraceSpanJSON{
+			Phase:    sp.Phase,
+			Tag:      sp.Tag,
+			WallMS:   float64(sp.Wall) / float64(time.Millisecond),
+			Counters: sp.Counters,
+		}
+	}
+	return &TraceJSON{Spans: out, Dropped: dropped}
 }
 
 // JoinRequest is the body of POST /join.
@@ -33,6 +95,8 @@ type JoinRequest struct {
 	Algo    string `json:"algo,omitempty"`
 	Workers int    `json:"workers,omitempty"`
 	TopK    int    `json:"topk,omitempty"`
+	// Trace requests the per-phase trace block in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // JoinResponse is the buffered join result — the shared response encoding
@@ -48,13 +112,17 @@ type JoinResponse struct {
 	Count        int64         `json:"count"`
 	Pairs        []PairJSON    `json:"pairs,omitempty"`
 	Stats        JoinStatsJSON `json:"stats"`
+	// Trace is the per-phase trace block, present only when the request
+	// asked for one (JoinRequest.Trace / &trace=1). A cache hit replays the
+	// original run's spans.
+	Trace *TraceJSON `json:"trace,omitempty"`
 }
 
 // NewJoinResponse assembles the shared encoding from raw join output;
 // topK == 0 keeps all pairs, topK > 0 caps them, topK < 0 omits the pair
 // list entirely (Count still reports the full cardinality). It is
 // exported for cmd/cijtool.
-func NewJoinResponse(left, right, algo string, workers int, pairs []core.Pair, pages int64, wall time.Duration, topK int) JoinResponse {
+func NewJoinResponse(left, right, algo string, workers int, pairs []core.Pair, io storage.Stats, wall time.Duration, topK int) JoinResponse {
 	return JoinResponse{
 		Left:    left,
 		Right:   right,
@@ -62,22 +130,25 @@ func NewJoinResponse(left, right, algo string, workers int, pairs []core.Pair, p
 		Workers: workers,
 		Count:   int64(len(pairs)),
 		Pairs:   encodePairs(pairs, topK),
-		Stats: JoinStatsJSON{
-			PageAccesses: pages,
-			WallMS:       float64(wall) / float64(time.Millisecond),
-		},
+		Stats:   statsFromIO(io, wall),
 	}
 }
 
-// response builds the JoinResponse for one dispatcher outcome.
-func (o *Outcome) response(topK int) JoinResponse {
+// response builds the JoinResponse for one dispatcher outcome. withTrace
+// attaches the recorded phase spans (when the run was traced; requests
+// that did not opt in leave the block off even if the slow-query log
+// forced a trace).
+func (o *Outcome) response(topK int, withTrace bool) JoinResponse {
 	resp := NewJoinResponse(o.Left.Name, o.Right.Name, o.Plan.Algo, o.Plan.Workers,
-		o.Result.Pairs, o.Result.Pages, o.Result.CPU, topK)
+		o.Result.Pairs, o.Result.IO, o.Result.CPU, topK)
 	resp.LeftVersion = o.Left.Version
 	resp.RightVersion = o.Right.Version
 	resp.Cached = o.Cached
 	if o.Cached {
-		resp.Stats.PageAccesses = 0 // a hit performs no I/O
+		resp.Stats = JoinStatsJSON{WallMS: resp.Stats.WallMS} // a hit performs no I/O
+	}
+	if withTrace {
+		resp.Trace = NewTraceJSON(o.Result.Trace, o.Result.TraceDropped)
 	}
 	return resp
 }
@@ -114,6 +185,13 @@ type StreamProgress struct {
 	Type         string `json:"type"`
 	PageAccesses int64  `json:"page_accesses"`
 	Pairs        int64  `json:"pairs"`
+}
+
+// StreamTrace is the streamed trace line ({"type":"trace",...}), emitted
+// just before the summary when the request asked for &trace=1.
+type StreamTrace struct {
+	Type string `json:"type"`
+	TraceJSON
 }
 
 // StreamSummary is the terminal stream line: the JoinResponse without the

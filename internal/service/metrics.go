@@ -1,0 +1,169 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"cij/internal/obs"
+	"cij/internal/storage"
+)
+
+// serviceMetrics is the service's metric bundle: every family registered
+// once at construction, mutated from the hot paths through atomic
+// counters only. Cache and registry figures are func-backed — scraped
+// from the structures that already maintain them rather than counted
+// twice.
+type serviceMetrics struct {
+	reg *obs.Registry
+
+	httpRequests *obs.CounterVec   // cij_http_requests_total{route,code}
+	httpLatency  *obs.HistogramVec // cij_http_request_seconds{route}
+
+	joins        *obs.CounterVec   // cij_joins_total{algo,source}
+	joinLatency  *obs.HistogramVec // cij_join_seconds{algo}
+	planner      *obs.CounterVec   // cij_planner_decisions_total{algo}
+	slowQueries  *obs.Counter
+	logicalReads *obs.Counter
+	pagesRead    *obs.Counter
+	pagesWritten *obs.Counter
+	decodeHits   *obs.Counter
+	decodeMisses *obs.Counter
+	evictions    *obs.Counter
+
+	admissionWait    *obs.Histogram // cij_admission_wait_seconds
+	admissionWaiting *obs.Gauge     // requests currently queued for a slot
+}
+
+// newServiceMetrics registers the service's metric families on a fresh
+// obs registry and wires the func-backed families to s's live state.
+func newServiceMetrics(s *Service) *serviceMetrics {
+	reg := obs.NewRegistry()
+	m := &serviceMetrics{
+		reg: reg,
+		httpRequests: reg.CounterVec("cij_http_requests_total",
+			"HTTP requests by route and status code.", "route", "code"),
+		httpLatency: reg.HistogramVec("cij_http_request_seconds",
+			"HTTP request latency by route.", nil, "route"),
+		joins: reg.CounterVec("cij_joins_total",
+			"Joins served, by executed algorithm and source (computed or cached).", "algo", "source"),
+		joinLatency: reg.HistogramVec("cij_join_seconds",
+			"Join computation latency by algorithm (computed joins only).", nil, "algo"),
+		planner: reg.CounterVec("cij_planner_decisions_total",
+			"Planner outcomes by chosen algorithm.", "algo"),
+		slowQueries: reg.Counter("cij_slow_queries_total",
+			"Joins slower than the configured slow-query threshold."),
+		logicalReads: reg.Counter("cij_logical_reads_total",
+			"Node accesses (buffer hits included) summed over computed joins."),
+		pagesRead: reg.Counter("cij_pages_read_total",
+			"Physical page reads summed over computed joins."),
+		pagesWritten: reg.Counter("cij_pages_written_total",
+			"Physical page writes summed over computed joins."),
+		decodeHits: reg.Counter("cij_decode_hits_total",
+			"Decoded-node cache hits summed over computed joins."),
+		decodeMisses: reg.Counter("cij_decode_misses_total",
+			"Decoded-node cache misses summed over computed joins."),
+		evictions: reg.Counter("cij_buffer_evictions_total",
+			"Pages evicted from per-request LRU buffer views (worker forks included)."),
+		admissionWait: reg.Histogram("cij_admission_wait_seconds",
+			"Time joins spent queued for an admission slot.", nil),
+		admissionWaiting: reg.Gauge("cij_admission_waiting",
+			"Joins currently queued for an admission slot."),
+	}
+
+	reg.CounterFunc("cij_result_cache_hits_total",
+		"Result-cache hits.", func() float64 {
+			hits, _, _, _ := s.cache.counters()
+			return float64(hits)
+		})
+	reg.CounterFunc("cij_result_cache_misses_total",
+		"Result-cache misses.", func() float64 {
+			_, misses, _, _ := s.cache.counters()
+			return float64(misses)
+		})
+	reg.CounterFunc("cij_result_cache_evictions_total",
+		"Results evicted from the cache.", func() float64 {
+			_, _, evicted, _ := s.cache.counters()
+			return float64(evicted)
+		})
+	reg.GaugeFunc("cij_result_cache_entries",
+		"Results currently cached.", func() float64 {
+			_, _, _, entries := s.cache.counters()
+			return float64(entries)
+		})
+	reg.CounterFunc("cij_ingests_total",
+		"Dataset ingests.", func() float64 { return float64(s.ingests.Load()) })
+	reg.GaugeFunc("cij_datasets",
+		"Datasets currently registered.", func() float64 { return float64(len(s.reg.List())) })
+	reg.GaugeFunc("cij_joins_in_flight",
+		"Joins currently holding an admission slot.", func() float64 { return float64(s.InFlight()) })
+	return m
+}
+
+// recordJoinIO folds one computed join's I/O aggregate into the exported
+// counters — the same storage.Stats the response reports, so the /metrics
+// deltas reconcile with per-query stats exactly.
+func (m *serviceMetrics) recordJoinIO(io storage.Stats) {
+	m.logicalReads.Add(io.LogicalReads)
+	m.pagesRead.Add(io.PageReads)
+	m.pagesWritten.Add(io.PageWrites)
+	m.decodeHits.Add(io.DecodeHits)
+	m.decodeMisses.Add(io.DecodeMisses)
+}
+
+// onEvict is the buffer eviction hook installed on per-request views and
+// scratch environments. Worker forks inherit it (storage.Buffer.Fork), so
+// it runs concurrently; obs.Counter is atomic.
+func (m *serviceMetrics) onEvict(storage.PageID, any) { m.evictions.Inc() }
+
+// statusWriter captures the response status for request metrics/logs. It
+// forwards Flush so the NDJSON stream handler's progressive writes keep
+// working through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route with request counting, latency observation
+// and structured request logging. Routes are labeled explicitly (not from
+// the request path) so the label space stays bounded.
+func (s *Service) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.metrics.httpRequests.With(route, strconv.Itoa(sw.status)).Inc()
+		s.metrics.httpLatency.With(route).Observe(elapsed.Seconds())
+		s.logger.Info("request",
+			"route", route,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+		)
+	}
+}

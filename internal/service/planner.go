@@ -9,8 +9,10 @@ import (
 	"cij/internal/dataset"
 	"cij/internal/geom"
 	"cij/internal/grid"
+	"cij/internal/obs"
 	"cij/internal/parallel"
 	"cij/internal/rtree"
+	"cij/internal/storage"
 )
 
 // autoPointsPerWorker is the planner's sizing unit: roughly how many
@@ -98,12 +100,16 @@ func clampWorkers(w int) int {
 	return w
 }
 
-// execHooks are the streaming callbacks of one join execution. Both run on
-// the executing goroutine (the request handler's), mirroring the contract
-// of core.Options.OnPair / parallel.Options.OnPair+OnProgress.
+// execHooks are the streaming callbacks and per-request options of one
+// join execution. The callbacks run on the executing goroutine (the
+// request handler's), mirroring the contract of core.Options.OnPair /
+// parallel.Options.OnPair+OnProgress.
 type execHooks struct {
 	onPair     func(core.Pair)
 	onProgress func(core.ProgressPoint)
+	// trace requests a per-phase trace of the computation even when the
+	// slow-query log (which traces unconditionally) is off.
+	trace bool
 }
 
 // execute runs the planned join and returns the full result with its cost.
@@ -111,58 +117,149 @@ type execHooks struct {
 // views; the materializing algorithms (PM/FM) write Voronoi R-trees, so
 // they get a private scratch environment — the registry's dataset disks
 // stay strictly read-only after build, which is what makes concurrent
-// queries safe.
-func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks) *cachedResult {
+// queries safe. tr (nil = untraced) is threaded into the engine so its
+// spans cover every phase; the eviction metric hook rides the same
+// per-request buffers (worker forks inherit it).
+func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks, tr *obs.Trace) *cachedResult {
 	start := time.Now()
 	var res core.Result
-	var pages, decodeHits int64
+	var io storage.Stats
 	switch pl.Algo {
 	case "grid":
 		// The in-memory backend joins the raw pointsets: no tree view, no
 		// buffer fork, no pages — its physical I/O is genuinely zero.
 		opts := grid.DefaultOptions()
 		opts.OnPair = hooks.onPair
+		opts.Trace = tr
 		res = grid.Join(left.Points, right.Points, dataset.Domain, opts)
 	case "nm":
 		rp, rq := left.View(), right.View()
+		rp.Buffer().SetOnEvict(s.metrics.onEvict)
+		rq.Buffer().SetOnEvict(s.metrics.onEvict)
 		opts := core.DefaultOptions()
 		opts.OnPair = hooks.onPair
+		opts.Trace = tr
 		res = core.NMCIJ(rp, rq, dataset.Domain, opts)
 		// The serial collector meters rp's buffer only (the single-disk
 		// setting of the paper); with per-dataset disks the request's I/O
-		// is the sum over both private views.
-		pages = rp.Buffer().Stats().PageAccesses() + rq.Buffer().Stats().PageAccesses()
-		decodeHits = rp.Buffer().Stats().DecodeHits + rq.Buffer().Stats().DecodeHits
+		// is the sum over both private views — which is also exactly what
+		// the trace spans meter, so response and trace reconcile.
+		io = rp.Buffer().Stats().Add(rq.Buffer().Stats())
 	case "parallel":
 		rp, rq := left.View(), right.View()
+		rp.Buffer().SetOnEvict(s.metrics.onEvict)
+		rq.Buffer().SetOnEvict(s.metrics.onEvict)
 		opts := parallel.DefaultOptions()
 		opts.Workers = pl.Workers
 		opts.OnPair = hooks.onPair
 		opts.OnProgress = hooks.onProgress
+		opts.Trace = tr
 		res = parallel.Join(rp, rq, dataset.Domain, opts)
-		pages = res.Stats.PageAccesses() // partition traversal + all worker forks
-		decodeHits = res.Stats.Mat.DecodeHits + res.Stats.Join.DecodeHits
+		io = res.Stats.Mat.Add(res.Stats.Join) // partition traversal + all worker forks
 	case "pm", "fm":
 		rp, rq := buildScratchEnv(left.Points, right.Points, s.cfg.BufferPct)
+		rp.Buffer().SetOnEvict(s.metrics.onEvict) // one shared scratch buffer
 		opts := core.DefaultOptions()
 		opts.OnPair = hooks.onPair
+		opts.Trace = tr
 		if pl.Algo == "pm" {
 			res = core.PMCIJ(rp, rq, dataset.Domain, opts)
 		} else {
 			res = core.FMCIJ(rp, rq, dataset.Domain, opts)
 		}
-		pages = res.Stats.PageAccesses() // MAT + JOIN on the shared scratch buffer
-		decodeHits = res.Stats.Mat.DecodeHits + res.Stats.Join.DecodeHits
+		io = res.Stats.Mat.Add(res.Stats.Join) // MAT + JOIN on the shared scratch buffer
 	default:
 		panic("service: unplanned algo " + pl.Algo)
 	}
 	return &cachedResult{
-		Pairs:      res.Pairs,
-		Count:      int64(len(res.Pairs)),
-		Pages:      pages,
-		DecodeHits: decodeHits,
-		CPU:        time.Since(start),
+		Pairs:        res.Pairs,
+		Count:        int64(len(res.Pairs)),
+		IO:           io,
+		CPU:          time.Since(start),
+		Trace:        tr.Spans(),
+		TraceDropped: tr.Dropped(),
 	}
+}
+
+// PlanInputs are the decision inputs the planner consulted — everything a
+// client needs to reproduce (or argue with) the routing by hand.
+type PlanInputs struct {
+	LeftPoints  int     `json:"left_points"`
+	RightPoints int     `json:"right_points"`
+	TotalPoints int     `json:"total_points"`
+	LeftSkew    float64 `json:"left_skew"`
+	RightSkew   float64 `json:"right_skew"`
+	// GridSkewMax and PointsPerWorker are the planner's gates
+	// (autoGridSkewMax, autoPointsPerWorker); MaxWorkers is GOMAXPROCS at
+	// planning time.
+	GridSkewMax     float64 `json:"grid_skew_max"`
+	PointsPerWorker int     `json:"points_per_worker"`
+	MaxWorkers      int     `json:"max_workers"`
+}
+
+// Explanation is the planner's answer to an explain-only request: the plan
+// it would execute, why, and the inputs the decision was made from.
+type Explanation struct {
+	Plan   Plan       `json:"plan"`
+	Reason string     `json:"reason"`
+	Inputs PlanInputs `json:"inputs"`
+}
+
+// Explain resolves and plans q without executing anything — the backing of
+// POST /join?explain=1.
+func (s *Service) Explain(q Query) (Explanation, error) {
+	left, ok := s.reg.Get(q.Left)
+	if !ok {
+		return Explanation{}, fmt.Errorf("unknown dataset %q", q.Left)
+	}
+	right, ok := s.reg.Get(q.Right)
+	if !ok {
+		return Explanation{}, fmt.Errorf("unknown dataset %q", q.Right)
+	}
+	return explain(q, left, right)
+}
+
+// explain runs the planner and narrates which branch fired. The reasons
+// mirror plan's decision flow exactly; any drift between the two is a bug
+// in this function, which is why the explain test pins them together.
+func explain(q Query, left, right *Dataset) (Explanation, error) {
+	pl, err := plan(q, left, right)
+	if err != nil {
+		return Explanation{}, err
+	}
+	total := len(left.Points) + len(right.Points)
+	inputs := PlanInputs{
+		LeftPoints:      len(left.Points),
+		RightPoints:     len(right.Points),
+		TotalPoints:     total,
+		LeftSkew:        left.Skew,
+		RightSkew:       right.Skew,
+		GridSkewMax:     autoGridSkewMax,
+		PointsPerWorker: autoPointsPerWorker,
+		MaxWorkers:      runtime.GOMAXPROCS(0),
+	}
+	var reason string
+	switch {
+	case q.Algo != "" && q.Algo != "auto":
+		reason = fmt.Sprintf("algorithm %q requested explicitly", q.Algo)
+		if pl.Algo == "parallel" && q.Workers <= 0 {
+			reason += fmt.Sprintf("; pool auto-sized to %d workers from %d joint points at %d points/worker",
+				pl.Workers, total, autoPointsPerWorker)
+		}
+	case q.Workers > 0:
+		reason = fmt.Sprintf("explicit worker count %d selects the parallel engine (clamped to %d)",
+			q.Workers, pl.Workers)
+	case pl.Algo == "parallel":
+		reason = fmt.Sprintf("joint cardinality %d covers %d workers at %d points/worker, so the join parallelizes",
+			total, pl.Workers, autoPointsPerWorker)
+	case pl.Algo == "grid":
+		reason = fmt.Sprintf("serial-range join with near-uniform inputs (skew %.1f and %.1f, both <= %d) routes to the in-memory grid",
+			left.Skew, right.Skew, autoGridSkewMax)
+	default: // nm
+		reason = fmt.Sprintf("serial-range join too skewed for the grid (skew %.1f and %.1f vs gate %d) falls back to NM-CIJ",
+			left.Skew, right.Skew, autoGridSkewMax)
+	}
+	return Explanation{Plan: pl, Reason: reason, Inputs: inputs}, nil
 }
 
 // buildScratchEnv bulk-loads both pointsets onto one fresh disk behind one

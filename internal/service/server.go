@@ -25,14 +25,18 @@ const maxJoinBodyBytes = 1 << 20
 // syscall cost does not dominate dense result streams.
 const streamFlushEvery = 64
 
-// Handler returns the service's HTTP mux.
+// Handler returns the service's HTTP mux. Every route is instrumented
+// (request counter, latency histogram, structured request log) under a
+// fixed route label; /metrics exposes the metric registry in Prometheus
+// text format.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /datasets/{name}", s.handleIngest)
-	mux.HandleFunc("GET /datasets", s.handleDatasets)
-	mux.HandleFunc("POST /join", s.handleJoin)
-	mux.HandleFunc("GET /join/stream", s.handleJoinStream)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /datasets/{name}", s.instrument("ingest", s.handleIngest))
+	mux.HandleFunc("GET /datasets", s.instrument("datasets", s.handleDatasets))
+	mux.HandleFunc("POST /join", s.instrument("join", s.handleJoin))
+	mux.HandleFunc("GET /join/stream", s.instrument("join_stream", s.handleJoinStream))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	return mux
 }
 
@@ -125,7 +129,9 @@ func (s *Service) handleDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJoin is the buffered join: the full response (pairs capped at
-// TopK) in one JSON body.
+// TopK) in one JSON body. ?explain=1 short-circuits to the planner — the
+// response is the Explanation (plan, reason, decision inputs) and nothing
+// executes.
 func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJoinBodyBytes)).Decode(&req); err != nil {
@@ -136,18 +142,31 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
 		req.TopK = 0
 	}
 	q := Query{Left: req.Left, Right: req.Right, Algo: req.Algo, Workers: req.Workers, TopK: req.TopK}
-	out, err := s.Join(r.Context(), q, execHooks{})
+	if boolParam(r.URL.Query().Get("explain")) {
+		ex, err := s.Explain(q)
+		if err != nil {
+			writeError(w, joinErrorStatus(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ex)
+		return
+	}
+	out, err := s.Join(r.Context(), q, execHooks{trace: req.Trace})
 	if err != nil {
 		writeError(w, joinErrorStatus(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, out.response(req.TopK))
+	writeJSON(w, http.StatusOK, out.response(req.TopK, req.Trace))
 }
+
+// boolParam interprets a query-parameter toggle: "1" and "true" are on.
+func boolParam(v string) bool { return v == "1" || v == "true" }
 
 // handleJoinStream is the progressive join: NDJSON pair lines as the
 // algorithm produces them (for cache misses; hits replay from memory),
-// progress lines when the parallel engine reports them, and one summary
-// line last. Query parameters: left, right, algo, workers, topk.
+// progress lines when the parallel engine reports them, an optional trace
+// line (&trace=1), and one summary line last. Query parameters: left,
+// right, algo, workers, topk, trace.
 func (s *Service) handleJoinStream(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	workers, err := intParam(params.Get("workers"), 0)
@@ -163,6 +182,7 @@ func (s *Service) handleJoinStream(w http.ResponseWriter, r *http.Request) {
 	if topK < 0 { // the wire contract is "<= 0 returns all"
 		topK = 0
 	}
+	wantTrace := boolParam(params.Get("trace"))
 	q := Query{
 		Left:    params.Get("left"),
 		Right:   params.Get("right"),
@@ -209,6 +229,7 @@ func (s *Service) handleJoinStream(w http.ResponseWriter, r *http.Request) {
 			flush()
 		},
 	}
+	hooks.trace = wantTrace
 	out, err := s.Join(r.Context(), q, hooks)
 	if err != nil {
 		if started {
@@ -227,9 +248,14 @@ func (s *Service) handleJoinStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	begin()
+	if wantTrace {
+		if tj := NewTraceJSON(out.Result.Trace, out.Result.TraceDropped); tj != nil {
+			enc.Encode(StreamTrace{Type: "trace", TraceJSON: *tj})
+		}
+	}
 	// topK -1: the pairs already went over the wire line by line; the
 	// summary must not materialize a second encoded copy of them.
-	enc.Encode(StreamSummary{Type: "summary", JoinResponse: out.response(-1)})
+	enc.Encode(StreamSummary{Type: "summary", JoinResponse: out.response(-1, false)})
 	flush()
 }
 

@@ -3,10 +3,13 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cij/internal/obs"
 )
 
 // Config tunes a Service.
@@ -20,16 +23,25 @@ type Config struct {
 	// MaxConcurrent bounds the number of joins executing at once (the
 	// admission semaphore); <= 0 selects GOMAXPROCS.
 	MaxConcurrent int
+	// Logger receives the service's structured logs (request lines, join
+	// completions, slow-query dumps); nil discards them.
+	Logger *slog.Logger
+	// SlowQuery, when > 0, arms the slow-query log: every computed join is
+	// traced, and one slower than the threshold logs its full phase trace
+	// at Warn level (and counts in cij_slow_queries_total).
+	SlowQuery time.Duration
 }
 
 // Service is the CIJ query service: registry + planner + result cache
 // behind one dispatcher. See the package comment for the architecture.
 type Service struct {
-	cfg   Config
-	reg   *Registry
-	cache *resultCache
-	admit chan struct{}
-	start time.Time
+	cfg     Config
+	reg     *Registry
+	cache   *resultCache
+	admit   chan struct{}
+	start   time.Time
+	logger  *slog.Logger
+	metrics *serviceMetrics
 
 	// Single-flight table: one entry per join computation in progress,
 	// keyed like the cache, so a burst of identical first-time queries
@@ -65,18 +77,30 @@ func New(cfg Config) *Service {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
-	return &Service{
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &Service{
 		cfg:     cfg,
 		reg:     NewRegistry(cfg.BufferPct),
 		cache:   newResultCache(cfg.CacheEntries),
 		admit:   make(chan struct{}, cfg.MaxConcurrent),
 		flights: make(map[string]*flight),
 		start:   time.Now(),
+		logger:  logger,
 	}
+	s.metrics = newServiceMetrics(s)
+	return s
 }
 
 // Registry exposes the dataset registry (preloading, tests).
 func (s *Service) Registry() *Registry { return s.reg }
+
+// Metrics exposes the service's metric registry — the backing store of
+// GET /metrics, and the bench harness's source for server-side latency
+// histogram snapshots.
+func (s *Service) Metrics() *obs.Registry { return s.metrics.reg }
 
 // Ingest indexes pts under name (replacing any previous version), sweeps
 // the named dataset's cached results and returns the new registry entry.
@@ -136,9 +160,12 @@ func (s *Service) Join(ctx context.Context, q Query, hooks execHooks) (*Outcome,
 		return nil, err
 	}
 
+	s.metrics.planner.With(pl.Algo).Inc()
+
 	key := cacheKey(left, right, pl.Algo, pl.Workers)
 	if res, ok := s.cache.get(key); ok {
 		s.joinsServed.Add(1)
+		s.metrics.joins.With(pl.Algo, "cached").Inc()
 		return &Outcome{Result: res, Plan: pl, Cached: true, Left: left, Right: right}, nil
 	}
 
@@ -154,6 +181,7 @@ func (s *Service) Join(ctx context.Context, q Query, hooks execHooks) (*Outcome,
 		}
 		if f.res != nil {
 			s.joinsServed.Add(1)
+			s.metrics.joins.With(pl.Algo, "cached").Inc()
 			return &Outcome{Result: f.res, Plan: pl, Cached: true, Left: left, Right: right}, nil
 		}
 		// The leader bailed before executing (admission cancelled);
@@ -179,21 +207,55 @@ func (s *Service) Join(ctx context.Context, q Query, hooks execHooks) (*Outcome,
 }
 
 // compute runs one planned join under the admission semaphore and records
-// it in the cache and the counters.
+// it in the cache, the counters and the metric families.
 func (s *Service) compute(ctx context.Context, key string, pl Plan, left, right *Dataset, hooks execHooks) (*Outcome, error) {
+	waitStart := time.Now()
+	s.metrics.admissionWaiting.Add(1)
 	select {
 	case s.admit <- struct{}{}:
+		s.metrics.admissionWaiting.Add(-1)
 	case <-ctx.Done():
+		s.metrics.admissionWaiting.Add(-1)
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.admit }()
+	wait := time.Since(waitStart)
+	s.metrics.admissionWait.Observe(wait.Seconds())
 
-	res := s.execute(left, right, pl, hooks)
+	// Trace when the request opted in or the slow-query log is armed (a
+	// slow join must be able to dump its phases after the fact).
+	var tr *obs.Trace
+	if hooks.trace || s.cfg.SlowQuery > 0 {
+		tr = obs.NewTrace()
+		tr.Add("admission", "", wait, obs.Counters{})
+	}
+
+	res := s.execute(left, right, pl, hooks, tr)
 	s.cache.put(key, res)
 	s.joinsServed.Add(1)
 	s.joinsComputed.Add(1)
-	s.pageAccesses.Add(res.Pages)
-	s.decodeHits.Add(res.DecodeHits)
+	s.pageAccesses.Add(res.IO.PageAccesses())
+	s.decodeHits.Add(res.IO.DecodeHits)
+	s.metrics.joins.With(pl.Algo, "computed").Inc()
+	s.metrics.joinLatency.With(pl.Algo).Observe(res.CPU.Seconds())
+	s.metrics.recordJoinIO(res.IO)
+
+	logArgs := []any{
+		"left", left.Name, "right", right.Name,
+		"algo", pl.Algo, "workers", pl.Workers,
+		"pairs", res.Count,
+		"pages", res.IO.PageAccesses(),
+		"decode_hits", res.IO.DecodeHits,
+		"wall_ms", float64(res.CPU) / float64(time.Millisecond),
+	}
+	if s.cfg.SlowQuery > 0 && res.CPU >= s.cfg.SlowQuery {
+		s.metrics.slowQueries.Inc()
+		s.logger.Warn("slow query",
+			append(logArgs, "threshold_ms", float64(s.cfg.SlowQuery)/float64(time.Millisecond),
+				"trace", res.Trace)...)
+	} else {
+		s.logger.Info("join computed", logArgs...)
+	}
 	return &Outcome{Result: res, Plan: pl, Left: left, Right: right}, nil
 }
 

@@ -90,6 +90,9 @@ func streamJoin(t *testing.T, ts *httptest.Server, params string) (map[core.Pair
 			pairs[core.Pair{P: p.P, Q: p.Q}] = true
 		case "progress":
 			progress++
+		case "trace":
+			// Parsed by the dedicated trace tests; tolerated here so shared
+			// callers keep working with &trace=1.
 		case "summary":
 			if err := json.Unmarshal(sc.Bytes(), &summary); err != nil {
 				t.Fatal(err)

@@ -164,13 +164,17 @@ func (b *Buffer) Disk() *Disk { return b.disk }
 // them yields the total physical I/O of a parallel run.
 //
 // Decoded-page slots are per-buffer state like the LRU list, so each fork
-// starts with an empty, private decoded cache (it inherits only the
-// decode-caching switch) — forks never share decoded nodes, which is what
-// keeps parallel workers and per-request service views race-free without
-// any locking.
+// starts with an empty, private decoded cache — forks never share decoded
+// nodes, which is what keeps parallel workers and per-request service
+// views race-free without any locking. A fork inherits the decode-caching
+// switch and the eviction hook: a hook installed on a dataset's base
+// buffer observes evictions from every per-request view forked off it, so
+// it must itself be safe for concurrent use (an atomic counter is the
+// typical shape).
 func (b *Buffer) Fork(capacity int) *Buffer {
 	f := NewBuffer(b.disk, capacity)
 	f.decodeCaching = b.decodeCaching
+	f.onEvict = b.onEvict
 	return f
 }
 
@@ -292,7 +296,8 @@ func (b *Buffer) Generation() uint64 { return b.gen }
 // SetOnEvict installs a hook observing every page that leaves the cache
 // (LRU eviction, capacity shrink, DropAll), along with the decoded value
 // the page carried. Pass nil to remove it. The hook must not mutate the
-// buffer.
+// buffer. Buffers forked after the call inherit the hook (see Fork), so a
+// hook that may run on several forks concurrently must be thread-safe.
 func (b *Buffer) SetOnEvict(fn func(id PageID, decoded any)) { b.onEvict = fn }
 
 // SetDecodeCaching switches the decoded-slot machinery on or off for this

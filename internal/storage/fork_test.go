@@ -125,3 +125,32 @@ func TestSetCapacityZeroDropsCaching(t *testing.T) {
 		t.Fatalf("after regrow = %+v, want exactly one more physical read", got)
 	}
 }
+
+// TestForkInheritsOnEvict: an eviction hook installed on a base buffer
+// observes evictions from forks created afterwards — the mechanism behind
+// the service's cij_buffer_evictions_total counter, which hooks each
+// dataset's base buffer and counts across all per-request views.
+func TestForkInheritsOnEvict(t *testing.T) {
+	base := seededDisk(8, 8)
+	var evicted int
+	base.SetOnEvict(func(id PageID, decoded any) { evicted++ })
+
+	fork := base.Fork(2) // room for 2 pages: reading 8 evicts 6
+	for id := 0; id < 8; id++ {
+		fork.Read(PageID(id))
+	}
+	if evicted != 6 {
+		t.Fatalf("evictions observed through fork = %d, want 6", evicted)
+	}
+
+	// Removing the hook on the base does not reach into existing forks
+	// (the fork copied the function value), but new forks see the change.
+	base.SetOnEvict(nil)
+	fresh := base.Fork(1)
+	for id := 0; id < 4; id++ {
+		fresh.Read(PageID(id))
+	}
+	if evicted != 6 {
+		t.Fatalf("hookless fork still reported evictions: %d", evicted)
+	}
+}

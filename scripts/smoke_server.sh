@@ -62,4 +62,48 @@ curl -sf "$base/stats" | grep -q '"joins_served":4' || {
   exit 1
 }
 
-echo "server smoke OK: $count pairs, cache hit and stream summary verified"
+# --- observability surface ---
+
+# ?explain=1 returns the plan without executing (joins_served must not move).
+curl -sf -X POST "$base/join?explain=1" -H 'Content-Type: application/json' \
+  -d '{"left":"a","right":"b"}' | grep -q '"reason"' || {
+  echo "explain did not return a reason"
+  exit 1
+}
+curl -sf "$base/stats" | grep -q '"joins_served":4' || {
+  echo "explain executed a join"
+  exit 1
+}
+
+# A traced join carries the per-phase trace block.
+curl -sf -X POST "$base/join" -H 'Content-Type: application/json' \
+  -d '{"left":"a","right":"b","algo":"pm","topk":1,"trace":true}' | grep -q '"trace":{' || {
+  echo "traced join returned no trace block"
+  exit 1
+}
+
+# /metrics is parseable Prometheus text exposition with the core families
+# present and the I/O counters moved by the joins above.
+metrics=$(curl -sf "$base/metrics")
+for family in cij_http_requests_total cij_joins_total cij_join_seconds_bucket \
+              cij_pages_read_total cij_logical_reads_total cij_planner_decisions_total; do
+  printf '%s\n' "$metrics" | grep -q "^$family" || {
+    echo "metrics family $family missing"
+    exit 1
+  }
+done
+# Every sample line: metric_name{optional="labels"} value.
+bad=$(printf '%s\n' "$metrics" | grep -v '^#' \
+  | grep -Ev '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$' || true)
+if [ -n "$bad" ]; then
+  echo "unparseable metrics lines:"
+  printf '%s\n' "$bad"
+  exit 1
+fi
+pages=$(printf '%s\n' "$metrics" | sed -n 's/^cij_pages_read_total \([0-9][0-9]*\).*/\1/p')
+if [ -z "$pages" ] || [ "$pages" -le 0 ]; then
+  echo "cij_pages_read_total did not move: '$pages'"
+  exit 1
+fi
+
+echo "server smoke OK: $count pairs, cache hit, stream summary, explain, trace and /metrics verified"
