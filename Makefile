@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-grid scal serve smoke-server bench-service metrics-smoke
+.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-flat bench-parallel bench-grid scal serve smoke-server bench-service metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ metrics-smoke:
 # profile over the whole module (CI uploads coverage.out).
 prop:
 	$(GO) test -race -coverprofile=coverage.out -coverpkg=./... \
-		-run 'TestEquivalenceSeeds|TestInvariantSeeds|TestGeneratorShape|TestPlanSelection|TestIngestComputesSkew|TestConcurrentAutoAndGridJoins' \
+		-run 'TestEquivalenceSeeds|TestInvariantSeeds|TestGeneratorShape|TestFlatPagedEquivalence|TestFlatStatsEquivalenceParallel|TestPlanSelection|TestIngestComputesSkew|TestConcurrentAutoAndGridJoins' \
 		./internal/check/... ./internal/service/...
 
 bench:
@@ -47,11 +47,13 @@ bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
 
 # Pages guard: recompute the Fig. 7 joins and assert pages/op is
-# byte-identical to the committed BENCH_nmcij.json for NM/PM/FM. The
-# paper's I/O metric must never move under CPU-side optimization (decode
-# caching, pooling, geometric fast paths); CI fails the build if it does.
+# byte-identical to the committed BENCH_nmcij.json for NM/PM/FM, and that
+# flat-storage NM emits the byte-identical pair sequence with zero page
+# accesses. The paper's I/O metric must never move under CPU-side
+# optimization (decode caching, pooling, flat arenas, geometric fast
+# paths); CI fails the build if it does.
 pages-guard:
-	$(GO) test -run TestFig7PagesMatchBaseline -count 1 .
+	$(GO) test -run 'TestFig7PagesMatchBaseline|TestFlatModeZeroPages' -count 1 .
 
 # benchstat workflow: record a baseline on the base commit, re-run on your
 # branch, compare. BENCH_FILTER narrows the set; COUNT=10 gives benchstat
@@ -71,6 +73,17 @@ benchstat:
 # and the parallel speedup curve) written to BENCH_nmcij.json.
 bench-json:
 	./scripts/bench_json.sh
+
+# Paged-vs-flat storage comparison (Fig. 7 NM on both backends plus the
+# arena build cost), written to BENCH_flat.json.
+bench-flat:
+	./scripts/bench_json.sh flat
+
+# Multicore speedup curve (1/2/4/8 workers x paged/flat), written to
+# BENCH_parallel.json; on a 1-CPU host the document records the skip
+# reason instead of a misleading 1.0x curve.
+bench-parallel:
+	./scripts/bench_json.sh parallel
 
 # Grid-vs-NM crossover at reduced scale, recorded in BENCH_grid.json
 # (also part of bench-json).

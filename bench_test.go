@@ -98,11 +98,26 @@ func BenchmarkTable2_BatchRealLike_PA(b *testing.B) {
 // --- Fig. 7: the three CIJ algorithms (cost breakdown setting) ---
 
 func benchCIJ(b *testing.B, algo func(*exp.Env) core.Result) {
+	benchCIJSetup(b, nil, algo)
+}
+
+// benchCIJSetup is benchCIJ with an untimed per-iteration setup hook —
+// the flat benches freeze the arena trees there, so the measured run is
+// the join alone (matching how a server pays the freeze once at ingest,
+// not per query).
+func benchCIJSetup(b *testing.B, setup func(*exp.Env), algo func(*exp.Env) core.Result) {
 	var pages int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		env := benchEnv(b, benchN, benchN)
+		if setup != nil {
+			setup(env)
+			// Setup allocated arena-scale garbage (the frozen trees'
+			// sources); collect it now so the timed join does not pay
+			// setup's GC debt.
+			runtime.GC()
+		}
 		b.StartTimer()
 		res := algo(env)
 		pages += res.Stats.PageAccesses()
@@ -126,6 +141,18 @@ func BenchmarkFig7_NMCIJ(b *testing.B) {
 	benchCIJ(b, func(e *exp.Env) core.Result {
 		return core.NMCIJ(e.RP, e.RQ, exp.Domain, core.Options{Reuse: true})
 	})
+}
+
+// BenchmarkFig7_NMCIJ_Flat is the same join on flat (arena) storage: no
+// page buffer, no per-read decode. The pages/op metric is structurally 0;
+// the ns/op against BenchmarkFig7_NMCIJ is the decode-free speedup.
+func BenchmarkFig7_NMCIJ_Flat(b *testing.B) {
+	benchCIJSetup(b,
+		func(e *exp.Env) { e.Flat() }, // freeze outside the timer
+		func(e *exp.Env) core.Result {
+			frp, frq := e.Flat()
+			return core.NMCIJ(frp, frq, exp.Domain, core.Options{Reuse: true})
+		})
 }
 
 // --- Fig. 8a: buffer size effect (NM-CIJ at two buffer settings) ---
@@ -266,32 +293,54 @@ func BenchmarkTable3_PA_SC(b *testing.B) {
 // speedup curve; on a multicore machine 4 workers clear 1.5x comfortably
 // (the scal experiment of cmd/cijbench prints the same curve as a table).
 
-func benchParallel(b *testing.B, workers int, balanced bool) {
-	benchCIJ(b, func(e *exp.Env) core.Result {
+func benchParallel(b *testing.B, workers int, balanced, flat bool) {
+	var setup func(*exp.Env)
+	if flat {
+		setup = func(e *exp.Env) { e.Flat() }
+	}
+	benchCIJSetup(b, setup, func(e *exp.Env) core.Result {
+		rp, rq := e.RP, e.RQ
+		if flat {
+			rp, rq = e.Flat()
+		}
 		opts := parallel.DefaultOptions()
 		opts.Workers = workers
 		opts.Balanced = balanced
 		opts.CollectPairs = false
-		return parallel.Join(e.RP, e.RQ, exp.Domain, opts)
+		return parallel.Join(rp, rq, exp.Domain, opts)
 	})
 }
 
+// BenchmarkParallel_SpeedupCurve measures workers=1/2/4/8 over both
+// storage backends; `make bench-parallel` commits it as
+// BENCH_parallel.json. Dividing each width's ns/op into its own
+// workers=1 row gives the per-backend speedup curve — flat removes the
+// shared-buffer decode work from the span, so it is the curve where
+// multicore scaling is visible undiluted.
 func BenchmarkParallel_SpeedupCurve(b *testing.B) {
 	if runtime.GOMAXPROCS(0) == 1 {
 		// A single-CPU host serializes every worker pool, so the "curve"
 		// degenerates to 1.0x at all widths. Skipping keeps that
-		// meaningless flat line out of BENCH_nmcij.json (which records the
-		// host's CPU count precisely so readers can interpret absences
-		// like this one).
+		// meaningless flat line out of BENCH_parallel.json (whose host
+		// block records the CPU count and the skip reason precisely so
+		// readers can interpret absences like this one).
 		b.Skip("GOMAXPROCS=1: a speedup curve measured on one CPU records a misleading 1.0x everywhere")
 	}
-	for _, w := range []int{1, 2, 4, 8} {
-		w := w
-		b.Run("workers="+itoa(w), func(b *testing.B) { benchParallel(b, w, false) })
+	for _, backend := range []struct {
+		name string
+		flat bool
+	}{{"paged", false}, {"flat", true}} {
+		backend := backend
+		b.Run("storage="+backend.name, func(b *testing.B) {
+			for _, w := range []int{1, 2, 4, 8} {
+				w := w
+				b.Run("workers="+itoa(w), func(b *testing.B) { benchParallel(b, w, false, backend.flat) })
+			}
+		})
 	}
 }
 
-func BenchmarkParallel_Balanced4Workers(b *testing.B) { benchParallel(b, 4, true) }
+func BenchmarkParallel_Balanced4Workers(b *testing.B) { benchParallel(b, 4, true, false) }
 
 // --- Baseline operators (Section II-A), for context ---
 

@@ -42,12 +42,20 @@ func main() {
 		admit    = flag.Int("admit", 0, "max concurrent join executions (0 = GOMAXPROCS)")
 		cache    = flag.Int("cache", 0, "result cache entries (0 = default 64, -1 = disabled)")
 		buffer   = flag.Float64("buffer", 0, "per-dataset LRU buffer, % of data pages (0 = paper's 2%)")
+		storage  = flag.String("storage", "auto", "default storage for tree joins: auto (planner picks flat), paged, or flat")
 		preload  = flag.String("preload", "", "datasets to load at startup: name=kind:n[,name=kind:n...]")
 		slow     = flag.Duration("slow", 0, "slow-query threshold; joins slower than this log their full phase trace (0 = off)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		debug    = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	switch *storage {
+	case "auto", "paged", "flat":
+	default:
+		fmt.Fprintf(os.Stderr, "cijserver: unknown -storage %q (want auto, paged or flat)\n", *storage)
+		os.Exit(2)
+	}
 
 	level, err := parseLevel(*logLevel)
 	if err != nil {
@@ -57,11 +65,12 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	svc := service.New(service.Config{
-		BufferPct:     *buffer,
-		CacheEntries:  *cache,
-		MaxConcurrent: *admit,
-		Logger:        logger,
-		SlowQuery:     *slow,
+		BufferPct:      *buffer,
+		CacheEntries:   *cache,
+		MaxConcurrent:  *admit,
+		DefaultStorage: *storage,
+		Logger:         logger,
+		SlowQuery:      *slow,
 	})
 	if err := preloadDatasets(svc, logger, *preload); err != nil {
 		fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)

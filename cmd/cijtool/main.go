@@ -110,6 +110,7 @@ func runJoin(args []string) error {
 	pPath := fs.String("p", "", "CSV of pointset P")
 	qPath := fs.String("q", "", "CSV of pointset Q")
 	algo := fs.String("algo", "nm", "algorithm: nm, pm, fm, or grid (in-memory, no index)")
+	storageMode := fs.String("storage", "", "node representation for nm: paged (LRU-buffered pages, the default) or flat (in-memory arena, zero page I/O)")
 	showPairs := fs.Bool("pairs", false, "print every pair (indexes into the input files)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON on stdout (the query service's JoinResponse encoding)")
 	withTrace := fs.Bool("trace", false, "record per-phase spans; printed to stderr, and embedded in -json output")
@@ -119,6 +120,21 @@ func runJoin(args []string) error {
 	}
 	if *pPath == "" || *qPath == "" {
 		return fmt.Errorf("join: -p and -q are required")
+	}
+	switch *storageMode {
+	case "":
+		// Algorithm default: paged for the tree algorithms, nothing for
+		// grid (which indexes no pages at all).
+	case "paged":
+		if *algo == "grid" {
+			return fmt.Errorf("join: -storage does not apply to the grid backend")
+		}
+	case "flat":
+		if *algo != "nm" {
+			return fmt.Errorf("join: -storage flat requires -algo nm (pm/fm materialize pages, grid has no tree)")
+		}
+	default:
+		return fmt.Errorf("join: unknown storage %q (want paged or flat)", *storageMode)
 	}
 	p, err := loadCSV(*pPath)
 	if err != nil {
@@ -161,14 +177,18 @@ func runJoin(args []string) error {
 		opts.CollectPairs = *asJSON
 		opts.OnPair = onPair
 		opts.Trace = tr
+		rp, rq := env.RP, env.RQ
+		if *storageMode == "flat" {
+			rp, rq = env.Flat() // one-shot freeze; the join reads arena nodes
+		}
 		start := time.Now()
 		switch *algo {
 		case "fm":
-			res = core.FMCIJ(env.RP, env.RQ, exp.Domain, opts)
+			res = core.FMCIJ(rp, rq, exp.Domain, opts)
 		case "pm":
-			res = core.PMCIJ(env.RP, env.RQ, exp.Domain, opts)
+			res = core.PMCIJ(rp, rq, exp.Domain, opts)
 		case "nm":
-			res = core.NMCIJ(env.RP, env.RQ, exp.Domain, opts)
+			res = core.NMCIJ(rp, rq, exp.Domain, opts)
 		default:
 			return fmt.Errorf("join: unknown algorithm %q", *algo)
 		}
@@ -181,6 +201,12 @@ func runJoin(args []string) error {
 		// one schema for CLI and server output.
 		resp := service.NewJoinResponse(*pPath, *qPath, *algo, 0,
 			res.Pairs, io, elapsed, 0)
+		if *algo != "grid" {
+			resp.Storage = *storageMode
+			if resp.Storage == "" {
+				resp.Storage = "paged"
+			}
+		}
 		resp.Trace = service.NewTraceJSON(tr.Spans(), tr.Dropped())
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -50,6 +50,16 @@ func Backends() []Backend {
 			opts.Workers = 3 // force real partitioning even on 1-core runners
 			return parallel.Join(env.RP, env.RQ, exp.Domain, opts)
 		})},
+		{"flat", tree(func(ps Pointsets, env *exp.Env) core.Result {
+			rp, rq := env.Flat()
+			return core.NMCIJ(rp, rq, exp.Domain, core.DefaultOptions())
+		})},
+		{"flat-parallel", tree(func(ps Pointsets, env *exp.Env) core.Result {
+			rp, rq := env.Flat()
+			opts := parallel.DefaultOptions()
+			opts.Workers = 3 // worker forks of the flat ledger, under -race
+			return parallel.Join(rp, rq, exp.Domain, opts)
+		})},
 		{"grid", func(ps Pointsets) []core.Pair {
 			return grid.Join(ps.P, ps.Q, dataset.Domain, grid.DefaultOptions()).Pairs
 		}},

@@ -485,4 +485,3 @@ func (fs *filterScratch) canPruneSubtree(r geom.Rect, cp []voronoi.Site, group [
 	}
 	return false
 }
-

@@ -41,6 +41,12 @@ type Env struct {
 	// DataPages is the page count of the two input trees (the "data size
 	// on disk" that buffer percentages refer to).
 	DataPages int
+
+	// Flat-mode lazies (Flat): the two trees frozen onto one shared stats
+	// ledger, mirroring the paged setup's single shared buffer so
+	// collectors that meter RP's buffer see the combined node accesses.
+	flatRP, flatRQ *rtree.Tree
+	flatLedger     *storage.Buffer
 }
 
 // BuildEnv indexes p and q on a fresh simulated disk and sizes the buffer
@@ -71,10 +77,31 @@ func (e *Env) SetBufferPct(pct float64) {
 }
 
 // Reset drops the cache and zeroes counters: the next measurement starts
-// cold.
+// cold. The flat ledger (when Flat has been called) is zeroed too.
 func (e *Env) Reset() {
 	e.Buf.DropAll()
 	e.Buf.ResetStats()
+	if e.flatLedger != nil {
+		e.flatLedger.ResetStats()
+	}
+}
+
+// Flat returns the environment's two trees in flat (arena-resident) form,
+// frozen on first use onto ONE shared stats ledger — the flat analogue of
+// the paged setup's single shared buffer, so algorithms that meter RP's
+// buffer capture the node accesses of both trees, exactly as they do in
+// paged mode. Freezing reads through the paged buffer, so the paged cache
+// is dropped and both stat sets zeroed afterwards: whichever mode runs
+// next starts cold.
+func (e *Env) Flat() (rp, rq *rtree.Tree) {
+	if e.flatRP == nil {
+		ledger := storage.NewFlatLedger(e.Buf.Disk())
+		e.flatRP = e.RP.FreezeWith(ledger)
+		e.flatRQ = e.RQ.FreezeWith(ledger)
+		e.flatLedger = ledger
+		e.Reset()
+	}
+	return e.flatRP, e.flatRQ
 }
 
 // LowerBound returns the LB of the paper's CIJ plots: the I/O cost of

@@ -42,6 +42,11 @@ type Tree struct {
 	// handle (WithBuffer views get their own), so handles never clobber
 	// each other's in-flight node.
 	scratch *Node
+
+	// flat, when non-nil, marks an arena-resident tree (see flat.go):
+	// node ids are slab indexes, reads are array lookups counted on the
+	// buffer ledger, and mutation paths panic.
+	flat *flatStore
 }
 
 // New creates an empty tree of the given kind on buf. The first Insert
@@ -81,6 +86,9 @@ func (t *Tree) WithBuffer(buf *storage.Buffer) *Tree {
 	if buf.Disk() != t.buf.Disk() {
 		panic("rtree: WithBuffer requires a buffer over the tree's own disk")
 	}
+	if t.flat != nil && buf.Backend() != storage.BackendFlat {
+		panic("rtree: a flat tree's view needs a flat ledger (fork the tree's own buffer)")
+	}
 	view := *t
 	view.buf = buf
 	// Each view decodes into its own scratch and caches into its own
@@ -107,6 +115,9 @@ func (t *Tree) Size() int { return t.size }
 func (t *Tree) NumPages() int {
 	if t.root == storage.InvalidPage {
 		return 0
+	}
+	if t.flat != nil {
+		return len(t.flat.nodes)
 	}
 	return t.countPages(t.root, t.height)
 }
@@ -139,6 +150,14 @@ func (t *Tree) countPages(id storage.PageID, level int) int {
 // handle. Callers that retain a node across further reads must use
 // ReadNodeStable; callers that mutate must use ReadNodeMut.
 func (t *Tree) ReadNode(id storage.PageID) *Node {
+	// Flat trees serve reads straight from the node arena: an index plus
+	// two ledger increments, nothing decoded, nothing cached. Arena nodes
+	// are immutable, so the result is stable despite coming from the hot
+	// read path.
+	if f := t.flat; f != nil {
+		t.buf.NoteFlatRead()
+		return &f.nodes[id]
+	}
 	data, dec, resident := t.buf.ReadDecoded(id)
 	if dec != nil {
 		return dec.(*Node)
@@ -158,6 +177,10 @@ func (t *Tree) ReadNode(id storage.PageID) *Node {
 // through this method. It installs the decode on first touch — stable
 // callers (DFS walks, synchronous joins) revisit upper levels reliably.
 func (t *Tree) ReadNodeStable(id storage.PageID) *Node {
+	if f := t.flat; f != nil {
+		t.buf.NoteFlatRead()
+		return &f.nodes[id]
+	}
 	data, dec, _ := t.buf.ReadDecoded(id)
 	if dec != nil {
 		return dec.(*Node)
@@ -174,6 +197,9 @@ func (t *Tree) ReadNodeStable(id storage.PageID) *Node {
 // readers is re-established by the writeNode that follows every mutation
 // (Buffer.Write clears the page's decoded slot).
 func (t *Tree) ReadNodeMut(id storage.PageID) *Node {
+	if t.flat != nil {
+		panic("rtree: flat trees are immutable")
+	}
 	return decodeNode(t.buf.Read(id), t.kind)
 }
 
@@ -198,11 +224,17 @@ func (t *Tree) readNodeQuietMut(id storage.PageID) *Node {
 
 // writeNode encodes and stores n at id.
 func (t *Tree) writeNode(id storage.PageID, n *Node) {
+	if t.flat != nil {
+		panic("rtree: flat trees are immutable")
+	}
 	t.buf.Write(id, encodeNode(n, t.kind, t.buf.Disk().PageSize()))
 }
 
 // allocNode allocates a page and stores n there.
 func (t *Tree) allocNode(n *Node) storage.PageID {
+	if t.flat != nil {
+		panic("rtree: flat trees are immutable")
+	}
 	id := t.buf.Alloc()
 	t.writeNode(id, n)
 	return id

@@ -14,11 +14,14 @@ import (
 
 // cacheKey canonicalizes one join computation: dataset names qualified by
 // their versions plus every parameter that affects the computed pair set
-// or its cost profile. TopK is deliberately absent — the cache stores the
+// or its cost profile. Storage is part of the key because the two modes,
+// while pair-identical, have different cost profiles (a flat result
+// reports zero page accesses) and the cached Stats must describe the run
+// that produced them. TopK is deliberately absent — the cache stores the
 // full pair list and responses slice a prefix — so one entry serves every
 // TopK of the same join.
-func cacheKey(left, right *Dataset, algo string, workers int) string {
-	return fmt.Sprintf("%s@%d|%s@%d|%s|w%d", left.Name, left.Version, right.Name, right.Version, algo, workers)
+func cacheKey(left, right *Dataset, algo string, workers int, storage string) string {
+	return fmt.Sprintf("%s@%d|%s@%d|%s|w%d|s%s", left.Name, left.Version, right.Name, right.Version, algo, workers, storage)
 }
 
 // cachedResult is one memoized join: the full pair list and the cost of

@@ -90,9 +90,12 @@ func NewTraceJSON(spans []obs.Span, dropped int64) *TraceJSON {
 
 // JoinRequest is the body of POST /join.
 type JoinRequest struct {
-	Left    string `json:"left"`
-	Right   string `json:"right"`
-	Algo    string `json:"algo,omitempty"`
+	Left  string `json:"left"`
+	Right string `json:"right"`
+	Algo  string `json:"algo,omitempty"`
+	// Storage selects the node representation for tree algorithms:
+	// "flat", "paged", or "auto"/empty (planner's choice).
+	Storage string `json:"storage,omitempty"`
 	Workers int    `json:"workers,omitempty"`
 	TopK    int    `json:"topk,omitempty"`
 	// Trace requests the per-phase trace block in the response.
@@ -102,16 +105,19 @@ type JoinRequest struct {
 // JoinResponse is the buffered join result — the shared response encoding
 // of POST /join and `cijtool join -json`.
 type JoinResponse struct {
-	Left         string        `json:"left"`
-	LeftVersion  int           `json:"left_version,omitempty"`
-	Right        string        `json:"right"`
-	RightVersion int           `json:"right_version,omitempty"`
-	Algo         string        `json:"algo"`
-	Workers      int           `json:"workers,omitempty"`
-	Cached       bool          `json:"cached"`
-	Count        int64         `json:"count"`
-	Pairs        []PairJSON    `json:"pairs,omitempty"`
-	Stats        JoinStatsJSON `json:"stats"`
+	Left         string `json:"left"`
+	LeftVersion  int    `json:"left_version,omitempty"`
+	Right        string `json:"right"`
+	RightVersion int    `json:"right_version,omitempty"`
+	Algo         string `json:"algo"`
+	// Storage is the node representation the join executed on ("flat",
+	// "paged"; empty for the storage-less grid backend).
+	Storage string        `json:"storage,omitempty"`
+	Workers int           `json:"workers,omitempty"`
+	Cached  bool          `json:"cached"`
+	Count   int64         `json:"count"`
+	Pairs   []PairJSON    `json:"pairs,omitempty"`
+	Stats   JoinStatsJSON `json:"stats"`
 	// Trace is the per-phase trace block, present only when the request
 	// asked for one (JoinRequest.Trace / &trace=1). A cache hit replays the
 	// original run's spans.
@@ -141,6 +147,7 @@ func NewJoinResponse(left, right, algo string, workers int, pairs []core.Pair, i
 func (o *Outcome) response(topK int, withTrace bool) JoinResponse {
 	resp := NewJoinResponse(o.Left.Name, o.Right.Name, o.Plan.Algo, o.Plan.Workers,
 		o.Result.Pairs, o.Result.IO, o.Result.CPU, topK)
+	resp.Storage = o.Plan.Storage
 	resp.LeftVersion = o.Left.Version
 	resp.RightVersion = o.Right.Version
 	resp.Cached = o.Cached
@@ -210,11 +217,18 @@ type DatasetInfo struct {
 	Points  int     `json:"points"`
 	Pages   int     `json:"pages"`
 	Skew    float64 `json:"skew"`
+	// Storage lists the node representations this dataset can serve
+	// (every ingest builds both the paged tree and its flat copy).
+	Storage []string `json:"storage"`
 }
 
 // datasetInfo converts a registry entry to its wire form.
 func datasetInfo(d *Dataset) DatasetInfo {
-	return DatasetInfo{Name: d.Name, Version: d.Version, Points: len(d.Points), Pages: d.Pages, Skew: d.Skew}
+	storage := []string{"paged"}
+	if d.FlatTree != nil {
+		storage = append(storage, "flat")
+	}
+	return DatasetInfo{Name: d.Name, Version: d.Version, Points: len(d.Points), Pages: d.Pages, Skew: d.Skew, Storage: storage}
 }
 
 // StatsResponse is the body of GET /stats.
@@ -224,16 +238,19 @@ type StatsResponse struct {
 	Ingests       int64         `json:"ingests"`
 	JoinsServed   int64         `json:"joins_served"`
 	JoinsComputed int64         `json:"joins_computed"`
-	PageAccesses  int64         `json:"page_accesses"`
+	// JoinsFlat counts computed joins that read flat (arena) storage —
+	// decode-free runs whose page I/O is structurally zero.
+	JoinsFlat    int64 `json:"joins_flat"`
+	PageAccesses int64 `json:"page_accesses"`
 	// DecodeHits sums the decoded-node cache hits of computed joins: node
 	// accesses that skipped page re-parsing (CPU saved, I/O untouched).
-	DecodeHits int64 `json:"decode_hits"`
-	CacheHits     int64         `json:"cache_hits"`
-	CacheMisses   int64         `json:"cache_misses"`
-	CacheEntries  int           `json:"cache_entries"`
-	CacheEvicted  int64         `json:"cache_evicted"`
-	InFlight      int           `json:"in_flight"`
-	MaxConcurrent int           `json:"max_concurrent"`
+	DecodeHits    int64 `json:"decode_hits"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheEntries  int   `json:"cache_entries"`
+	CacheEvicted  int64 `json:"cache_evicted"`
+	InFlight      int   `json:"in_flight"`
+	MaxConcurrent int   `json:"max_concurrent"`
 }
 
 // StatsSnapshot assembles the current counters.
@@ -250,6 +267,7 @@ func (s *Service) StatsSnapshot() StatsResponse {
 		Ingests:       s.ingests.Load(),
 		JoinsServed:   s.joinsServed.Load(),
 		JoinsComputed: s.joinsComputed.Load(),
+		JoinsFlat:     s.joinsFlat.Load(),
 		PageAccesses:  s.pageAccesses.Load(),
 		DecodeHits:    s.decodeHits.Load(),
 		CacheHits:     hits,

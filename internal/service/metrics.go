@@ -20,16 +20,18 @@ type serviceMetrics struct {
 	httpRequests *obs.CounterVec   // cij_http_requests_total{route,code}
 	httpLatency  *obs.HistogramVec // cij_http_request_seconds{route}
 
-	joins        *obs.CounterVec   // cij_joins_total{algo,source}
-	joinLatency  *obs.HistogramVec // cij_join_seconds{algo}
-	planner      *obs.CounterVec   // cij_planner_decisions_total{algo}
-	slowQueries  *obs.Counter
-	logicalReads *obs.Counter
-	pagesRead    *obs.Counter
-	pagesWritten *obs.Counter
-	decodeHits   *obs.Counter
-	decodeMisses *obs.Counter
-	evictions    *obs.Counter
+	joins          *obs.CounterVec   // cij_joins_total{algo,source}
+	joinLatency    *obs.HistogramVec // cij_join_seconds{algo}
+	planner        *obs.CounterVec   // cij_planner_decisions_total{algo}
+	plannerStorage *obs.CounterVec   // cij_planner_storage_total{storage}
+	slowQueries    *obs.Counter
+	logicalReads   *obs.Counter
+	pagesRead      *obs.Counter
+	pagesWritten   *obs.Counter
+	decodeHits     *obs.Counter
+	decodeMisses   *obs.Counter
+	flatReads      *obs.Counter // cij_flat_reads_total
+	evictions      *obs.Counter
 
 	admissionWait    *obs.Histogram // cij_admission_wait_seconds
 	admissionWaiting *obs.Gauge     // requests currently queued for a slot
@@ -51,6 +53,8 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 			"Join computation latency by algorithm (computed joins only).", nil, "algo"),
 		planner: reg.CounterVec("cij_planner_decisions_total",
 			"Planner outcomes by chosen algorithm.", "algo"),
+		plannerStorage: reg.CounterVec("cij_planner_storage_total",
+			"Planner outcomes by chosen storage mode (flat, paged; none for the storage-less grid backend).", "storage"),
 		slowQueries: reg.Counter("cij_slow_queries_total",
 			"Joins slower than the configured slow-query threshold."),
 		logicalReads: reg.Counter("cij_logical_reads_total",
@@ -63,6 +67,8 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 			"Decoded-node cache hits summed over computed joins."),
 		decodeMisses: reg.Counter("cij_decode_misses_total",
 			"Decoded-node cache misses summed over computed joins."),
+		flatReads: reg.Counter("cij_flat_reads_total",
+			"Arena node accesses of flat-storage joins (decode-free reads; never counted as page I/O)."),
 		evictions: reg.Counter("cij_buffer_evictions_total",
 			"Pages evicted from per-request LRU buffer views (worker forks included)."),
 		admissionWait: reg.Histogram("cij_admission_wait_seconds",
@@ -102,13 +108,19 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 
 // recordJoinIO folds one computed join's I/O aggregate into the exported
 // counters — the same storage.Stats the response reports, so the /metrics
-// deltas reconcile with per-query stats exactly.
-func (m *serviceMetrics) recordJoinIO(io storage.Stats) {
+// deltas reconcile with per-query stats exactly. A flat-storage run's
+// node accesses additionally feed cij_flat_reads_total; its page and
+// decode-miss counters are structurally zero, so the shared families stay
+// truthful in both modes.
+func (m *serviceMetrics) recordJoinIO(io storage.Stats, storageMode string) {
 	m.logicalReads.Add(io.LogicalReads)
 	m.pagesRead.Add(io.PageReads)
 	m.pagesWritten.Add(io.PageWrites)
 	m.decodeHits.Add(io.DecodeHits)
 	m.decodeMisses.Add(io.DecodeMisses)
+	if storageMode == "flat" {
+		m.flatReads.Add(io.LogicalReads)
+	}
 }
 
 // onEvict is the buffer eviction hook installed on per-request views and

@@ -73,7 +73,13 @@ func TestTraceSumsToResponseStats(t *testing.T) {
 	_, ts := newTestServer(t, service.Config{CacheEntries: -1}, p, q)
 
 	for _, algo := range []string{"nm", "pm", "fm", "parallel", "grid"} {
-		jr := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: algo, Workers: 2, Trace: true, TopK: 1})
+		// Pin the tree algorithms to paged storage: this test asserts the
+		// paper's page-I/O accounting, which flat (auto's pick) zeroes out.
+		storage := "paged"
+		if algo == "grid" {
+			storage = ""
+		}
+		jr := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: algo, Storage: storage, Workers: 2, Trace: true, TopK: 1})
 		if jr.Trace == nil || len(jr.Trace.Spans) == 0 {
 			t.Fatalf("%s: trace requested but response has no trace block", algo)
 		}
@@ -90,6 +96,35 @@ func TestTraceSumsToResponseStats(t *testing.T) {
 		}
 		if algo != "grid" && jr.Stats.PageAccesses == 0 {
 			t.Fatalf("%s reported zero page accesses", algo)
+		}
+	}
+}
+
+// TestTraceSumsToResponseStatsFlat is the flat-storage companion: the
+// trace spans still partition the run's aggregate exactly, but the run is
+// decode-free — zero page accesses, zero decode misses, every node access
+// a decode hit.
+func TestTraceSumsToResponseStatsFlat(t *testing.T) {
+	p, q := dataset.Uniform(800, 101), dataset.Clustered(800, 8, 102)
+	_, ts := newTestServer(t, service.Config{CacheEntries: -1}, p, q)
+
+	for _, algo := range []string{"nm", "parallel"} {
+		jr := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: algo, Storage: "flat", Workers: 2, Trace: true, TopK: 1})
+		if jr.Storage != "flat" {
+			t.Fatalf("%s: response storage %q, want flat", algo, jr.Storage)
+		}
+		if jr.Trace == nil || len(jr.Trace.Spans) == 0 {
+			t.Fatalf("%s: trace requested but response has no trace block", algo)
+		}
+		total := sumTrace(jr.Trace)
+		if total.LogicalReads != jr.Stats.LogicalReads || total.DecodeHits != jr.Stats.DecodeHits {
+			t.Fatalf("%s: trace totals %+v do not reconcile with response stats %+v", algo, total, jr.Stats)
+		}
+		if jr.Stats.PageAccesses != 0 || jr.Stats.DecodeMisses != 0 {
+			t.Fatalf("%s flat run reported page I/O: %+v", algo, jr.Stats)
+		}
+		if jr.Stats.LogicalReads == 0 || jr.Stats.DecodeHits != jr.Stats.LogicalReads {
+			t.Fatalf("%s flat run's reads are not all decode-free hits: %+v", algo, jr.Stats)
 		}
 	}
 }
@@ -178,8 +213,10 @@ func TestMetricsMatchJoinStats(t *testing.T) {
 	p, q := dataset.Uniform(2000, 141), dataset.Uniform(2000, 142)
 	_, ts := newTestServer(t, service.Config{}, p, q)
 
+	// Paged storage, explicitly: the eviction assertion below needs the
+	// LRU buffer path that flat storage bypasses.
 	before := scrapeMetrics(t, ts.URL)
-	jr := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm", TopK: 1})
+	jr := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm", Storage: "paged", TopK: 1})
 	after := scrapeMetrics(t, ts.URL)
 	delta := func(key string) int64 { return int64(after[key] - before[key]) }
 
@@ -215,7 +252,7 @@ func TestMetricsMatchJoinStats(t *testing.T) {
 
 	// A cache hit counts as served-from-cache and moves no I/O counter.
 	mid := after
-	second := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm", TopK: 1})
+	second := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm", Storage: "paged", TopK: 1})
 	if !second.Cached {
 		t.Fatal("second identical join not cached")
 	}
@@ -225,6 +262,46 @@ func TestMetricsMatchJoinStats(t *testing.T) {
 	}
 	if got := final[`cij_pages_read_total`] - mid[`cij_pages_read_total`]; got != 0 {
 		t.Fatalf("cache hit moved cij_pages_read_total by %g", got)
+	}
+}
+
+// TestMetricsMatchFlatJoin: a flat-storage join moves the flat-read and
+// planner-storage families, keeps every page family still, and its
+// /metrics deltas reconcile with the response stats just like paged runs.
+func TestMetricsMatchFlatJoin(t *testing.T) {
+	p, q := dataset.Uniform(2000, 141), dataset.Uniform(2000, 142)
+	svc, ts := newTestServer(t, service.Config{}, p, q)
+
+	before := scrapeMetrics(t, ts.URL)
+	jr := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm", TopK: 1}) // auto storage -> flat
+	after := scrapeMetrics(t, ts.URL)
+	delta := func(key string) int64 { return int64(after[key] - before[key]) }
+
+	if jr.Storage != "flat" {
+		t.Fatalf("auto storage picked %q, want flat", jr.Storage)
+	}
+	if jr.Stats.PageAccesses != 0 || jr.Stats.DecodeMisses != 0 {
+		t.Fatalf("flat join reported page I/O: %+v", jr.Stats)
+	}
+	if got := delta(`cij_flat_reads_total`); got != jr.Stats.LogicalReads || got == 0 {
+		t.Fatalf("cij_flat_reads_total moved %d, response says %d logical reads", got, jr.Stats.LogicalReads)
+	}
+	if got := delta(`cij_logical_reads_total`); got != jr.Stats.LogicalReads {
+		t.Fatalf("cij_logical_reads_total moved %d, response says %d", got, jr.Stats.LogicalReads)
+	}
+	if got := delta(`cij_decode_hits_total`); got != jr.Stats.LogicalReads {
+		t.Fatalf("cij_decode_hits_total moved %d, want every flat read a hit (%d)", got, jr.Stats.LogicalReads)
+	}
+	for _, family := range []string{`cij_pages_read_total`, `cij_pages_written_total`, `cij_decode_misses_total`, `cij_buffer_evictions_total`} {
+		if got := delta(family); got != 0 {
+			t.Fatalf("flat join moved %s by %d, want 0", family, got)
+		}
+	}
+	if got := delta(`cij_planner_storage_total{storage="flat"}`); got != 1 {
+		t.Fatalf(`cij_planner_storage_total{storage="flat"} moved %d, want 1`, got)
+	}
+	if got := svc.StatsSnapshot().JoinsFlat; got != 1 {
+		t.Fatalf("/stats joins_flat = %d, want 1", got)
 	}
 }
 

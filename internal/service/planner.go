@@ -45,6 +45,11 @@ type Plan struct {
 	Algo string `json:"algo"`
 	// Workers is the pool size when Algo is "parallel", 0 otherwise.
 	Workers int `json:"workers,omitempty"`
+	// Storage is the node representation the tree algorithms read:
+	// "flat" (arena-resident, decode-free, zero page I/O) or "paged"
+	// (the paper's LRU-buffered disk format). Empty for the grid
+	// backend, which indexes nothing.
+	Storage string `json:"storage,omitempty"`
 }
 
 // plan maps a query onto a concrete algorithm and worker count. Explicit
@@ -54,6 +59,38 @@ type Plan struct {
 // backend when both inputs are near-uniform, and skewed serial joins fall
 // back to NM-CIJ.
 func plan(q Query, left, right *Dataset) (Plan, error) {
+	stor, explicitStorage, err := normalizeStorage(q.Storage)
+	if err != nil {
+		return Plan{}, err
+	}
+	// resolve attaches the storage decision to a chosen algorithm. The
+	// tree algorithms read either representation; PM/FM materialize
+	// Voronoi R-trees page by page, so they are pinned to paged; the grid
+	// backend indexes nothing and carries no storage at all.
+	resolve := func(algo string, workers int) (Plan, error) {
+		pl := Plan{Algo: algo, Workers: workers}
+		switch algo {
+		case "grid":
+			if explicitStorage {
+				return Plan{}, fmt.Errorf("storage %q does not apply to the grid backend (it joins raw pointsets, no tree)", stor)
+			}
+		case "pm", "fm":
+			if stor == "flat" {
+				return Plan{}, fmt.Errorf("algo %q materializes Voronoi R-trees page by page and cannot run on flat storage", algo)
+			}
+			pl.Storage = "paged"
+		default: // nm, parallel
+			pl.Storage = stor
+			if pl.Storage == "auto" {
+				// Every registered dataset lives in memory and carries a
+				// frozen flat tree, so auto picks the decode-free
+				// representation; "paged" remains the knob for measuring
+				// the paper's I/O behavior.
+				pl.Storage = "flat"
+			}
+		}
+		return pl, nil
+	}
 	total := len(left.Points) + len(right.Points)
 	switch q.Algo {
 	case "", "auto":
@@ -61,25 +98,40 @@ func plan(q Query, left, right *Dataset) (Plan, error) {
 		// CPU share — fixes the pool; only workers <= 0 leaves the choice
 		// to the planner.
 		if q.Workers > 0 {
-			return Plan{Algo: "parallel", Workers: clampWorkers(q.Workers)}, nil
+			return resolve("parallel", clampWorkers(q.Workers))
 		}
 		if w := autoWorkers(total); w > 1 {
-			return Plan{Algo: "parallel", Workers: w}, nil
+			return resolve("parallel", w)
 		}
-		if left.Skew <= autoGridSkewMax && right.Skew <= autoGridSkewMax {
-			return Plan{Algo: "grid"}, nil
+		// An explicit storage choice is a statement about tree nodes, so
+		// algo-auto then restricts itself to the tree algorithms.
+		if !explicitStorage && left.Skew <= autoGridSkewMax && right.Skew <= autoGridSkewMax {
+			return resolve("grid", 0)
 		}
-		return Plan{Algo: "nm"}, nil
+		return resolve("nm", 0)
 	case "nm", "pm", "fm", "grid":
-		return Plan{Algo: q.Algo}, nil
+		return resolve(q.Algo, 0)
 	case "parallel":
 		w := q.Workers
 		if w <= 0 {
 			w = autoWorkers(total)
 		}
-		return Plan{Algo: "parallel", Workers: clampWorkers(w)}, nil
+		return resolve("parallel", clampWorkers(w))
 	default:
 		return Plan{}, fmt.Errorf("unknown algo %q (want nm, pm, fm, parallel, grid or auto)", q.Algo)
+	}
+}
+
+// normalizeStorage canonicalizes the storage knob: auto (empty included)
+// leaves the choice to the planner; paged and flat are explicit requests.
+func normalizeStorage(s string) (value string, explicit bool, err error) {
+	switch s {
+	case "", "auto":
+		return "auto", false, nil
+	case "paged", "flat":
+		return s, true, nil
+	default:
+		return "", false, fmt.Errorf("unknown storage %q (want paged, flat or auto)", s)
 	}
 }
 
@@ -133,7 +185,7 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks, tr *ob
 		opts.Trace = tr
 		res = grid.Join(left.Points, right.Points, dataset.Domain, opts)
 	case "nm":
-		rp, rq := left.View(), right.View()
+		rp, rq := left.StorageView(pl.Storage), right.StorageView(pl.Storage)
 		rp.Buffer().SetOnEvict(s.metrics.onEvict)
 		rq.Buffer().SetOnEvict(s.metrics.onEvict)
 		opts := core.DefaultOptions()
@@ -146,7 +198,7 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks, tr *ob
 		// the trace spans meter, so response and trace reconcile.
 		io = rp.Buffer().Stats().Add(rq.Buffer().Stats())
 	case "parallel":
-		rp, rq := left.View(), right.View()
+		rp, rq := left.StorageView(pl.Storage), right.StorageView(pl.Storage)
 		rp.Buffer().SetOnEvict(s.metrics.onEvict)
 		rq.Buffer().SetOnEvict(s.metrics.onEvict)
 		opts := parallel.DefaultOptions()
@@ -216,7 +268,7 @@ func (s *Service) Explain(q Query) (Explanation, error) {
 	if !ok {
 		return Explanation{}, fmt.Errorf("unknown dataset %q", q.Right)
 	}
-	return explain(q, left, right)
+	return explain(s.applyDefaultStorage(q), left, right)
 }
 
 // explain runs the planner and narrates which branch fired. The reasons
@@ -256,8 +308,26 @@ func explain(q Query, left, right *Dataset) (Explanation, error) {
 		reason = fmt.Sprintf("serial-range join with near-uniform inputs (skew %.1f and %.1f, both <= %d) routes to the in-memory grid",
 			left.Skew, right.Skew, autoGridSkewMax)
 	default: // nm
-		reason = fmt.Sprintf("serial-range join too skewed for the grid (skew %.1f and %.1f vs gate %d) falls back to NM-CIJ",
-			left.Skew, right.Skew, autoGridSkewMax)
+		if q.Storage == "paged" || q.Storage == "flat" {
+			reason = fmt.Sprintf("explicit storage %q restricts algo-auto to the tree algorithms; serial range selects NM-CIJ", q.Storage)
+		} else {
+			reason = fmt.Sprintf("serial-range join too skewed for the grid (skew %.1f and %.1f vs gate %d) falls back to NM-CIJ",
+				left.Skew, right.Skew, autoGridSkewMax)
+		}
+	}
+	switch pl.Storage {
+	case "flat":
+		if q.Storage == "flat" {
+			reason += "; flat storage requested explicitly (arena nodes, zero page I/O)"
+		} else {
+			reason += "; storage auto-selects flat (datasets are in-memory, so joins read arena nodes decode-free)"
+		}
+	case "paged":
+		if q.Storage == "paged" {
+			reason += "; paged storage requested explicitly (the paper's LRU-buffered disk format)"
+		} else {
+			reason += "; paged storage (this algorithm materializes R-trees page by page)"
+		}
 	}
 	return Explanation{Plan: pl, Reason: reason, Inputs: inputs}, nil
 }

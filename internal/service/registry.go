@@ -32,6 +32,10 @@ type Dataset struct {
 	Version int
 	Points  []geom.Point
 	Tree    *rtree.Tree
+	// FlatTree is the arena-resident (flat) copy of Tree, frozen once at
+	// ingest: structurally identical, decode-free to read, zero page I/O.
+	// Plans with Storage "flat" read it through FlatView.
+	FlatTree *rtree.Tree
 	// Pages is the tree's page count on its private disk.
 	Pages int
 	// BufferPages is the LRU capacity each query view forks with.
@@ -49,6 +53,23 @@ type Dataset struct {
 // lets the executor attribute physical I/O to one request exactly.
 func (d *Dataset) View() *rtree.Tree {
 	return d.Tree.WithBuffer(d.Tree.Buffer().Fork(d.BufferPages))
+}
+
+// FlatView is View for the flat copy: a read handle over the shared node
+// arena whose accesses are counted on a fresh private ledger fork, so
+// per-request I/O attribution works identically in both storage modes.
+// (The ledger caches nothing, so capacity 0 is exact, not a limitation.)
+func (d *Dataset) FlatView() *rtree.Tree {
+	return d.FlatTree.WithBuffer(d.FlatTree.Buffer().Fork(0))
+}
+
+// StorageView dispatches on a plan's storage choice: "flat" reads the
+// arena, anything else the paged tree.
+func (d *Dataset) StorageView(storage string) *rtree.Tree {
+	if storage == "flat" {
+		return d.FlatView()
+	}
+	return d.View()
 }
 
 // Registry is the concurrent name -> Dataset map. Versions are scoped to
@@ -125,6 +146,7 @@ func buildDataset(name string, pts []geom.Point, bufferPct float64) *Dataset {
 		Name:        name,
 		Points:      pts,
 		Tree:        tree,
+		FlatTree:    tree.Freeze(),
 		Pages:       tree.NumPages(),
 		BufferPages: tree.Buffer().Capacity(),
 		Skew:        grid.SkewEstimate(pts, dataset.Domain),

@@ -141,7 +141,7 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if req.TopK < 0 { // the wire contract is "<= 0 returns all"
 		req.TopK = 0
 	}
-	q := Query{Left: req.Left, Right: req.Right, Algo: req.Algo, Workers: req.Workers, TopK: req.TopK}
+	q := Query{Left: req.Left, Right: req.Right, Algo: req.Algo, Storage: req.Storage, Workers: req.Workers, TopK: req.TopK}
 	if boolParam(r.URL.Query().Get("explain")) {
 		ex, err := s.Explain(q)
 		if err != nil {
@@ -166,7 +166,7 @@ func boolParam(v string) bool { return v == "1" || v == "true" }
 // algorithm produces them (for cache misses; hits replay from memory),
 // progress lines when the parallel engine reports them, an optional trace
 // line (&trace=1), and one summary line last. Query parameters: left,
-// right, algo, workers, topk, trace.
+// right, algo, storage, workers, topk, trace.
 func (s *Service) handleJoinStream(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	workers, err := intParam(params.Get("workers"), 0)
@@ -187,6 +187,7 @@ func (s *Service) handleJoinStream(w http.ResponseWriter, r *http.Request) {
 		Left:    params.Get("left"),
 		Right:   params.Get("right"),
 		Algo:    params.Get("algo"),
+		Storage: params.Get("storage"),
 		Workers: workers,
 		TopK:    topK,
 	}

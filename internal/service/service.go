@@ -30,6 +30,11 @@ type Config struct {
 	// traced, and one slower than the threshold logs its full phase trace
 	// at Warn level (and counts in cij_slow_queries_total).
 	SlowQuery time.Duration
+	// DefaultStorage is the storage mode applied when a query leaves the
+	// knob empty: "auto" (empty included; the planner picks flat for the
+	// tree algorithms), "flat", or "paged" (pin every tree join to the
+	// paper's LRU-buffered disk format).
+	DefaultStorage string
 }
 
 // Service is the CIJ query service: registry + planner + result cache
@@ -51,6 +56,7 @@ type Service struct {
 
 	joinsServed   atomic.Int64 // all successful joins, cache hits included
 	joinsComputed atomic.Int64 // joins that actually executed an algorithm
+	joinsFlat     atomic.Int64 // computed joins that read flat (arena) storage
 	pageAccesses  atomic.Int64 // physical I/O summed over computed joins
 	decodeHits    atomic.Int64 // decoded-node cache hits summed over computed joins
 	ingests       atomic.Int64
@@ -120,6 +126,10 @@ type Query struct {
 	Right string
 	// Algo selects the algorithm: nm, pm, fm, parallel, or auto/empty.
 	Algo string
+	// Storage selects the node representation for tree algorithms: flat,
+	// paged, or auto/empty (the planner picks; the service's
+	// DefaultStorage applies first when the query leaves it empty).
+	Storage string
 	// Workers fixes the parallel pool size; <= 0 lets the planner size it
 	// from the dataset cardinalities.
 	Workers int
@@ -127,6 +137,25 @@ type Query struct {
 	// full result is still computed (and cached), so stats describe the
 	// complete join.
 	TopK int
+}
+
+// applyDefaultStorage fills an empty storage knob from the service
+// configuration, so operators can pin a deployment to paged or flat mode
+// without touching clients (an explicit per-query choice still wins).
+func (s *Service) applyDefaultStorage(q Query) Query {
+	if q.Storage == "" {
+		q.Storage = s.cfg.DefaultStorage
+	}
+	return q
+}
+
+// storageLabel maps a plan's storage onto a bounded metric label ("none"
+// for the storage-less grid backend).
+func storageLabel(storage string) string {
+	if storage == "" {
+		return "none"
+	}
+	return storage
 }
 
 // Outcome is the dispatcher's answer to one query: the (possibly cached)
@@ -155,14 +184,16 @@ func (s *Service) Join(ctx context.Context, q Query, hooks execHooks) (*Outcome,
 	if !ok {
 		return nil, fmt.Errorf("unknown dataset %q", q.Right)
 	}
+	q = s.applyDefaultStorage(q)
 	pl, err := plan(q, left, right)
 	if err != nil {
 		return nil, err
 	}
 
 	s.metrics.planner.With(pl.Algo).Inc()
+	s.metrics.plannerStorage.With(storageLabel(pl.Storage)).Inc()
 
-	key := cacheKey(left, right, pl.Algo, pl.Workers)
+	key := cacheKey(left, right, pl.Algo, pl.Workers, pl.Storage)
 	if res, ok := s.cache.get(key); ok {
 		s.joinsServed.Add(1)
 		s.metrics.joins.With(pl.Algo, "cached").Inc()
@@ -234,15 +265,19 @@ func (s *Service) compute(ctx context.Context, key string, pl Plan, left, right 
 	s.cache.put(key, res)
 	s.joinsServed.Add(1)
 	s.joinsComputed.Add(1)
+	if pl.Storage == "flat" {
+		s.joinsFlat.Add(1)
+	}
 	s.pageAccesses.Add(res.IO.PageAccesses())
 	s.decodeHits.Add(res.IO.DecodeHits)
 	s.metrics.joins.With(pl.Algo, "computed").Inc()
 	s.metrics.joinLatency.With(pl.Algo).Observe(res.CPU.Seconds())
-	s.metrics.recordJoinIO(res.IO)
+	s.metrics.recordJoinIO(res.IO, pl.Storage)
 
 	logArgs := []any{
 		"left", left.Name, "right", right.Name,
 		"algo", pl.Algo, "workers", pl.Workers,
+		"storage", pl.Storage,
 		"pairs", res.Count,
 		"pages", res.IO.PageAccesses(),
 		"decode_hits", res.IO.DecodeHits,

@@ -214,7 +214,9 @@ func TestCacheHitAndInvalidation(t *testing.T) {
 	p, q := dataset.Uniform(300, 41), dataset.Uniform(300, 42)
 	svc, ts := newTestServer(t, service.Config{}, p, q)
 
-	first := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm"})
+	// Paged explicitly: the acceptance assertion below is about page
+	// accesses, which auto-selected flat storage makes structurally zero.
+	first := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm", Storage: "paged"})
 	if first.Cached {
 		t.Fatal("first join reported cached")
 	}
@@ -223,7 +225,7 @@ func TestCacheHitAndInvalidation(t *testing.T) {
 		t.Fatal("computed join reported zero page accesses")
 	}
 
-	second := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm"})
+	second := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm", Storage: "paged"})
 	if !second.Cached {
 		t.Fatal("second identical join not cached")
 	}
@@ -246,7 +248,7 @@ func TestCacheHitAndInvalidation(t *testing.T) {
 	if _, err := svc.Ingest("q", q); err != nil {
 		t.Fatal(err)
 	}
-	third := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm"})
+	third := postJoin(t, ts, service.JoinRequest{Left: "p", Right: "q", Algo: "nm", Storage: "paged"})
 	if third.Cached {
 		t.Fatal("join after re-ingest served from stale cache")
 	}

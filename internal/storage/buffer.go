@@ -90,6 +90,11 @@ type Buffer struct {
 
 	decodeCaching bool // when false, ReadDecoded/SetDecoded ignore the slot
 
+	// backend marks what the buffer fronts: BackendPaged for the ordinary
+	// page cache, BackendFlat for the stats-only ledger of an
+	// arena-resident tree (see backend.go). Forks inherit it.
+	backend Backend
+
 	// onEvict, when non-nil, observes every page leaving the cache
 	// (capacity eviction, shrink, DropAll) together with its attached
 	// decoded value. Diagnostics/test hook; it must not call back into the
@@ -175,6 +180,7 @@ func (b *Buffer) Fork(capacity int) *Buffer {
 	f := NewBuffer(b.disk, capacity)
 	f.decodeCaching = b.decodeCaching
 	f.onEvict = b.onEvict
+	f.backend = b.backend
 	return f
 }
 

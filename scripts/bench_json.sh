@@ -1,55 +1,44 @@
 #!/usr/bin/env bash
-# bench_json.sh — run the Fig. 7 CIJ benchmarks and the parallel speedup
-# curve and write the results as JSON (default: BENCH_nmcij.json), then run
-# the query-service load benchmark and write BENCH_service.json — so the
-# repo accumulates a machine-readable performance trajectory alongside the
-# human-readable benchstat workflow (see README "Performance").
+# bench_json.sh — run benchmark sections and write the results as JSON,
+# so the repo accumulates a machine-readable performance trajectory
+# alongside the human-readable benchstat workflow (see README
+# "Performance").
 #
 # Usage:
+#   scripts/bench_json.sh                  # full run: BENCH_nmcij.json,
+#                                          # BENCH_service.json, BENCH_grid.json
+#   scripts/bench_json.sh flat             # BENCH_flat.json: paged-vs-flat
+#                                          # Fig. 7 NM plus the arena build cost
+#   scripts/bench_json.sh parallel         # BENCH_parallel.json: the speedup
+#                                          # curve at 1/2/4/8 workers x both
+#                                          # storage backends
 #   scripts/bench_json.sh [out.json] [service_out.json] [grid_out.json]
-#   BENCHTIME=5x scripts/bench_json.sh        # more iterations per bench
+#   BENCHTIME=5x scripts/bench_json.sh     # more iterations per bench
 #   SERVE_SCALE=0.05 SERVE_DUR=5s scripts/bench_json.sh   # bigger serve run
 #   GRID_SCALE=0.5 scripts/bench_json.sh                  # bigger grid sweep
 #
-# Each benchmark record carries ns/op, B/op, allocs/op and the paper-unit
-# pages/op; the service document carries sustained req/s and latency
-# quantiles at 1/4/16 concurrent join clients; the grid document carries
-# the grid-vs-NM wall-clock crossover per distribution.
+# Each benchmark record carries ns/op, B/op, allocs/op and any custom
+# units (the paper's pages/op, the flat benches' nodes/op); the service
+# document carries sustained req/s and latency quantiles at 1/4/16
+# concurrent join clients; the grid document carries the grid-vs-NM
+# wall-clock crossover per distribution.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_nmcij.json}
 benchtime=${BENCHTIME:-3x}
-bench_filter='BenchmarkFig7_|BenchmarkParallel_SpeedupCurve'
-
-raw=$(go test -run xxx -bench "$bench_filter" \
-	-benchmem -benchtime "$benchtime" .)
-
-# A filter that matches nothing (renamed benchmarks, typo'd override)
-# would silently produce an empty document that looks like a recorded
-# regression-to-zero. Refuse to write it.
-if ! grep -q '^Benchmark' <<<"$raw"; then
-	echo "bench_json.sh: benchmark filter '$bench_filter' matched no benchmarks; refusing to write an empty $out" >&2
-	exit 1
-fi
 
 # Host metadata: a perf trajectory is uninterpretable without it — a flat
 # parallel speedup curve is damning on a 32-core box and expected on a
 # 1-CPU runner, and only the record itself can say which one measured it.
 # The block comes from exp.Host() (via `cijbench -hostinfo`), the same
-# source WriteServeJSON/WriteGridJSON embed, so all three BENCH_*.json
+# source WriteServeJSON/WriteGridJSON embed, so all BENCH_*.json
 # documents of one run describe the machine identically.
 host_json=$(go run ./cmd/cijbench -hostinfo)
 
-{
-	printf '{\n'
-	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
-	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-	printf '  "go": "%s",\n' "$(go env GOVERSION)"
-	printf '  "host": %s,\n' "$host_json"
-	printf '  "benchtime": "%s",\n' "$benchtime"
-	printf '  "benchmarks": [\n'
-	echo "$raw" | awk '
+# bench_lines_json converts `go test -bench` output on stdin to a JSON
+# benchmark array (one object per Benchmark line, custom units included).
+bench_lines_json() {
+	awk '
 		/^Benchmark/ {
 			if (n++) printf ",\n"
 			name = $1
@@ -65,6 +54,84 @@ host_json=$(go run ./cmd/cijbench -hostinfo)
 		}
 		END { printf "\n" }
 	'
+}
+
+# doc_header emits the shared metadata preamble of a benchmark document.
+doc_header() {
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "host": %s,\n' "$host_json"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+}
+
+case "${1:-}" in
+flat)
+	# Paged-vs-flat Fig. 7 NM join (same workload, the storage mode is the
+	# only variable) plus the one-time arena build cost from the rtree
+	# package — the amortization denominator of the flat speedup.
+	out=BENCH_flat.json
+	raw=$(go test -run xxx -bench 'BenchmarkFig7_NMCIJ$|BenchmarkFig7_NMCIJ_Flat$' \
+		-benchmem -benchtime "$benchtime" .)
+	raw_build=$(go test -run xxx -bench 'BenchmarkFlatBuild' \
+		-benchmem -benchtime "$benchtime" ./internal/rtree)
+	if ! grep -q '^Benchmark' <<<"$raw" || ! grep -q '^Benchmark' <<<"$raw_build"; then
+		echo "bench_json.sh: flat benchmarks matched nothing; refusing to write an empty $out" >&2
+		exit 1
+	fi
+	{
+		doc_header
+		printf '  "benchmarks": [\n'
+		printf '%s\n%s\n' "$raw" "$raw_build" | bench_lines_json
+		printf '  ]\n}\n'
+	} >"$out"
+	echo "wrote $out"
+	exit 0
+	;;
+parallel)
+	# The multicore speedup curve. On a 1-CPU host the benchmark skips
+	# itself (a one-core "curve" is a misleading 1.0x line), and the
+	# document records the skip and the host that forced it instead of
+	# silently recording nothing.
+	out=BENCH_parallel.json
+	raw=$(go test -run xxx -bench 'BenchmarkParallel_SpeedupCurve' \
+		-benchmem -benchtime "$benchtime" .)
+	{
+		doc_header
+		if grep -q '^Benchmark' <<<"$raw"; then
+			printf '  "benchmarks": [\n'
+			bench_lines_json <<<"$raw"
+			printf '  ]\n}\n'
+		else
+			printf '  "benchmarks": [],\n'
+			printf '  "skipped": "BenchmarkParallel_SpeedupCurve skipped: GOMAXPROCS=1 — a speedup curve measured on one CPU records a misleading 1.0x at every width; re-run make bench-parallel on a multicore host to fill this in"\n'
+			printf '}\n'
+		fi
+	} >"$out"
+	echo "wrote $out"
+	exit 0
+	;;
+esac
+
+out=${1:-BENCH_nmcij.json}
+bench_filter='BenchmarkFig7_FMCIJ|BenchmarkFig7_PMCIJ|BenchmarkFig7_NMCIJ$|BenchmarkParallel_SpeedupCurve'
+
+raw=$(go test -run xxx -bench "$bench_filter" \
+	-benchmem -benchtime "$benchtime" .)
+
+# A filter that matches nothing (renamed benchmarks, typo'd override)
+# would silently produce an empty document that looks like a recorded
+# regression-to-zero. Refuse to write it.
+if ! grep -q '^Benchmark' <<<"$raw"; then
+	echo "bench_json.sh: benchmark filter '$bench_filter' matched no benchmarks; refusing to write an empty $out" >&2
+	exit 1
+fi
+
+{
+	doc_header
+	printf '  "benchmarks": [\n'
+	bench_lines_json <<<"$raw"
 	printf '  ]\n}\n'
 } >"$out"
 
