@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-flat bench-parallel bench-grid scal serve smoke-server bench-service metrics-smoke
+.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-flat bench-parallel bench-grid scal serve smoke-server bench-service metrics-smoke journal-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-check: build vet race prop metrics-smoke
+check: build vet race prop metrics-smoke journal-smoke
 
 # Observability slice under the race detector: the obs metric/trace
 # primitives (concurrent scrape-while-mutate, shared-trace Add) and the
@@ -28,6 +28,15 @@ check: build vet race prop metrics-smoke
 metrics-smoke:
 	$(GO) test -race ./internal/obs/...
 	$(GO) test -race -run 'TestTrace|TestMetrics|TestStreamTrace|TestExplainDoesNotExecute|TestSlowQueryLog|TestRequestLog' ./internal/service/...
+
+# Introspection slice under the race detector: journal ring wraparound and
+# slowest-K retention (concurrent joins included), stats reconciliation
+# (journal record == response == /metrics deltas), JSONL sink round-trip,
+# Chrome trace export golden fields, metrics-history sampling and window
+# math, and the /debug/queries + /stats/history endpoints.
+journal-smoke:
+	$(GO) test -race -run 'TestJournal|TestDebugQueries|TestStatsHistory|TestExplainObserved|TestChromeTrace|TestRuntimeCollector|TestRingWraparound|TestWindow|TestStartStop' \
+		./internal/obs/... ./internal/service/...
 
 # Property-based equivalence harness (internal/check): the fixed seed
 # matrix holding NM ≡ PM ≡ FM ≡ parallel ≡ grid ≡ brute, plus the

@@ -11,6 +11,7 @@
 //	cijserver -addr :8080
 //	cijserver -addr :8080 -preload "a=uniform:20000,b=clustered:20000"
 //	cijserver -addr :8080 -slow 250ms -log-level debug -debug
+//	cijserver -addr :8080 -journal queries.jsonl -history-interval 5s
 //
 // Preload specs are name=kind:n pairs (kind uniform or clustered, or a
 // Table I code with no :n), loaded before the listener starts.
@@ -47,6 +48,10 @@ func main() {
 		slow     = flag.Duration("slow", 0, "slow-query threshold; joins slower than this log their full phase trace (0 = off)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		debug    = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+
+		journal        = flag.String("journal", "", "append every query observation as a JSON line to this file (the planner-training corpus)")
+		journalEntries = flag.Int("journal-entries", 0, "query-journal ring capacity (0 = default 512, -1 = journal disabled)")
+		historyEvery   = flag.Duration("history-interval", 5*time.Second, "metrics-history sampling interval for /stats/history (0 = off)")
 	)
 	flag.Parse()
 
@@ -64,17 +69,39 @@ func main() {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		BufferPct:      *buffer,
 		CacheEntries:   *cache,
 		MaxConcurrent:  *admit,
 		DefaultStorage: *storage,
 		Logger:         logger,
 		SlowQuery:      *slow,
-	})
+		JournalEntries: *journalEntries,
+	}
+	if *journal != "" {
+		if *journalEntries < 0 {
+			fmt.Fprintf(os.Stderr, "cijserver: -journal needs the journal enabled (-journal-entries >= 0)\n")
+			os.Exit(2)
+		}
+		sink, err := os.OpenFile(*journal, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cijserver: -journal: %v\n", err)
+			os.Exit(2)
+		}
+		defer sink.Close()
+		cfg.JournalSink = sink
+		logger.Info("query journal sink enabled", "path", *journal)
+	}
+
+	svc := service.New(cfg)
 	if err := preloadDatasets(svc, logger, *preload); err != nil {
 		fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
 		os.Exit(2)
+	}
+	if *historyEvery > 0 {
+		stop := svc.History().Start(*historyEvery)
+		defer stop()
+		logger.Info("metrics history sampling", "interval", historyEvery.String())
 	}
 
 	handler := svc.Handler()

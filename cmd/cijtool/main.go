@@ -58,7 +58,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cijtool gen  -kind uniform|clustered|PP|SC|CE|LO|PA -n 1000 -seed 1 [-clusters 20] -o out.csv
-  cijtool join -p left.csv -q right.csv [-algo nm|pm|fm|grid] [-pairs] [-json] [-buffer 2]
+  cijtool join -p left.csv -q right.csv [-algo nm|pm|fm|grid] [-pairs] [-json] [-trace-out t.json] [-buffer 2]
   cijtool vor  -p pts.csv -site 0`)
 }
 
@@ -114,9 +114,13 @@ func runJoin(args []string) error {
 	showPairs := fs.Bool("pairs", false, "print every pair (indexes into the input files)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON on stdout (the query service's JoinResponse encoding)")
 	withTrace := fs.Bool("trace", false, "record per-phase spans; printed to stderr, and embedded in -json output")
+	traceOut := fs.String("trace-out", "", "write the phase trace as Chrome trace-event JSON to this file (implies -trace; open in chrome://tracing or Perfetto)")
 	buffer := fs.Float64("buffer", exp.DefaultBufferPct, "LRU buffer, % of data size")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		*withTrace = true
 	}
 	if *pPath == "" || *qPath == "" {
 		return fmt.Errorf("join: -p and -q are required")
@@ -214,6 +218,23 @@ func runJoin(args []string) error {
 			return err
 		}
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("join: -trace-out: %w", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		werr := enc.Encode(obs.ChromeTraceFromSpans(tr.Spans(), os.Getpid()))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("join: -trace-out: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+
 	fmt.Fprintf(os.Stderr, "CIJ(%s ⋈ %s) via %s-CIJ: %d pairs\n", *pPath, *qPath, *algo, count)
 	fmt.Fprintf(os.Stderr, "I/O: %d page accesses (MAT %d + JOIN %d), LB %d; CPU %v\n",
 		res.Stats.PageAccesses(), res.Stats.Mat.PageAccesses(), res.Stats.Join.PageAccesses(),

@@ -38,4 +38,25 @@
 // and callers guard their time.Now/snapshot work behind Enabled, so the
 // hot join loops pay zero allocations and zero clock reads when tracing
 // is off (see the alloc-guard tests in internal/core).
+//
+// ChromeTraceFromSpans (trace_export.go) renders a trace's spans in the
+// Chrome Trace Event Format — one thread row per span tag, sequential
+// complete events whose widths are the measured wall clock, counter
+// deltas in the event args — loadable as-is in chrome://tracing or
+// Perfetto. The service serves it at GET /debug/queries/{id}/trace.json
+// and cijtool writes it with join -trace-out.
+//
+// # Snapshots, history and runtime metrics
+//
+// Registry.Snapshot captures every family as plain values keyed by
+// flattened series identity (name{labels}), histograms as HistSnapshot.
+// The obs/history subpackage rings those snapshots up on a fixed
+// interval and computes windowed deltas, rates, hit-ratios and quantiles
+// between any two of them — self-scraped Prometheus-style trend queries
+// (GET /stats/history) with no external scraper.
+//
+// RuntimeCollector (runtime.go) is the one stdlib bridge from the Go
+// runtime into a registry: goroutine count, heap gauges, cumulative
+// allocation, a GC pause histogram and process uptime, refreshed only
+// when Collect is called (per /metrics scrape and per history sample).
 package obs

@@ -154,6 +154,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.register(name, help, typeGauge, nil, nil, nil).seriesFor(nil).g
 }
 
+// GaugeVec registers (or returns) a labeled gauge family — the shape of
+// info-style metrics (cij_build_info) whose value is constant 1 and whose
+// payload is the labels.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, typeGauge, labels, nil, nil)}
+}
+
 // GaugeFunc registers a gauge whose value is fn(), evaluated at scrape
 // time — the idiom for "current depth" values that already live somewhere
 // (queue lengths, cache entry counts).
@@ -250,6 +257,14 @@ func (v *CounterVec) With(labelValues ...string) *Counter {
 	return v.fam.seriesFor(labelValues).c
 }
 
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.fam.seriesFor(labelValues).g
+}
+
 // HistogramVec is a labeled histogram family.
 type HistogramVec struct{ fam *family }
 
@@ -329,6 +344,23 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Add returns the bucket-wise sum s + o. The bounds must describe the
+// same layout (series of one family always do); mismatched layouts fold
+// what they can, which is the usual scrape-side tolerance.
+func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
+	if s.Bounds == nil {
+		s.Bounds, s.Counts = o.Bounds, make([]int64, len(o.Counts))
+	}
+	d := HistSnapshot{Bounds: s.Bounds, Counts: make([]int64, len(s.Counts)), Sum: s.Sum + o.Sum, Count: s.Count + o.Count}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i]
+		if i < len(o.Counts) {
+			d.Counts[i] += o.Counts[i]
+		}
+	}
+	return d
+}
+
 // Sub returns the bucket-wise difference s - o of two snapshots of the
 // same histogram — the per-interval view (one bench level, one scrape
 // window).
@@ -379,6 +411,59 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 		return lo + (hi-lo)*frac
 	}
 	return s.Bounds[len(s.Bounds)-1]
+}
+
+// ScrapeSnapshot is a structured point-in-time capture of a registry —
+// the raw material of the self-scraping metrics history (obs/history).
+// Keys are flattened series identities: the bare family name for
+// unlabeled series, `name{k="v",...}` for labeled ones — the same
+// identity a text-exposition sample line leads with.
+type ScrapeSnapshot struct {
+	// Values holds every counter and gauge sample, func-backed families
+	// included (their fn is evaluated at snapshot time).
+	Values map[string]float64
+	// Hists holds every histogram series, keyed without the `le` label.
+	Hists map[string]HistSnapshot
+}
+
+// Snapshot captures every family's current samples. Individual reads are
+// atomic; the collection is the usual consistent-enough scrape cut.
+func (r *Registry) Snapshot() ScrapeSnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.byName))
+	for _, f := range r.byName {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+
+	snap := ScrapeSnapshot{
+		Values: make(map[string]float64),
+		Hists:  make(map[string]HistSnapshot),
+	}
+	for _, f := range fams {
+		if f.fn != nil {
+			snap.Values[f.name] = f.fn()
+			continue
+		}
+		f.mu.Lock()
+		sers := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			sers = append(sers, s)
+		}
+		f.mu.Unlock()
+		for _, s := range sers {
+			key := f.name + labelString(f.labels, s.labelVals, "", "")
+			switch f.typ {
+			case typeCounter:
+				snap.Values[key] = float64(s.c.Value())
+			case typeGauge:
+				snap.Values[key] = float64(s.g.Value())
+			case typeHistogram:
+				snap.Hists[key] = s.h.Snapshot()
+			}
+		}
+	}
+	return snap
 }
 
 // WriteTo renders every family in the text exposition format, families

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// GCPauseBuckets is the default layout for the GC pause histogram:
+// exponential from 1 µs to 1 s, two orders of magnitude finer than the
+// request-latency buckets (a healthy Go GC pauses well under a
+// millisecond).
+var GCPauseBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 0.1, 1,
+}
+
+// RuntimeCollector feeds Go runtime and process metrics into a registry:
+// goroutine count, heap in-use, cumulative allocation (whose windowed
+// rate is the allocation rate), a GC pause histogram and GC cycle count,
+// plus a func-backed process uptime gauge. The registry core stays
+// dependency-free: nothing in metrics.go knows about the runtime — this
+// collector is the one (stdlib-only) bridge, and it only runs when
+// Collect is called, so registries that never ask pay nothing.
+//
+// Collect is cheap enough to run per scrape (runtime.ReadMemStats is
+// microseconds at service heap sizes) and is invoked by the /metrics
+// handler and the metrics-history sampler.
+type RuntimeCollector struct {
+	goroutines *Gauge
+	heapInuse  *Gauge
+	heapAlloc  *Gauge
+	allocTotal *Counter
+	gcPauses   *Histogram
+	gcCycles   *Counter
+
+	mu             sync.Mutex
+	lastNumGC      uint32
+	lastTotalAlloc uint64
+}
+
+// NewRuntimeCollector registers the runtime families on reg and returns
+// the collector that updates them. start anchors process_uptime_seconds;
+// the zero value selects time.Now().
+func NewRuntimeCollector(reg *Registry, start time.Time) *RuntimeCollector {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	c := &RuntimeCollector{
+		goroutines: reg.Gauge("go_goroutines",
+			"Goroutines currently live."),
+		heapInuse: reg.Gauge("go_heap_inuse_bytes",
+			"Heap bytes in in-use spans."),
+		heapAlloc: reg.Gauge("go_heap_alloc_bytes",
+			"Heap bytes currently allocated and reachable or not yet swept."),
+		allocTotal: reg.Counter("go_alloc_bytes_total",
+			"Cumulative heap bytes allocated; the windowed rate is the allocation rate."),
+		gcPauses: reg.Histogram("go_gc_pause_seconds",
+			"Stop-the-world GC pause durations.", GCPauseBuckets),
+		gcCycles: reg.Counter("go_gc_cycles_total",
+			"Completed GC cycles."),
+	}
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the process (or service) started.", func() float64 {
+			return time.Since(start).Seconds()
+		})
+	return c
+}
+
+// Collect reads the runtime's current state into the registered
+// families. Safe for concurrent use; pause feeding is serialized so each
+// GC cycle's pause is observed exactly once.
+func (c *RuntimeCollector) Collect() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.goroutines.Set(int64(runtime.NumGoroutine()))
+	c.heapInuse.Set(int64(ms.HeapInuse))
+	c.heapAlloc.Set(int64(ms.HeapAlloc))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.allocTotal.Add(int64(ms.TotalAlloc - c.lastTotalAlloc))
+	c.lastTotalAlloc = ms.TotalAlloc
+	// PauseNs is a circular buffer of the last 256 pause durations; feed
+	// the cycles completed since the previous Collect (cap 256: older
+	// pauses have been overwritten and are unobservable).
+	newCycles := ms.NumGC - c.lastNumGC
+	if newCycles > uint32(len(ms.PauseNs)) {
+		newCycles = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < newCycles; i++ {
+		idx := (ms.NumGC - i + 255) % 256
+		c.gcPauses.Observe(float64(ms.PauseNs[idx]) / 1e9)
+	}
+	c.gcCycles.Add(int64(ms.NumGC - c.lastNumGC))
+	c.lastNumGC = ms.NumGC
+}

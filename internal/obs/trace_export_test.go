@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// exportSpans is the fixture: a serial phase, two worker lanes, and a
+// zero-wall span (the export must still emit its dur field).
+func exportSpans() []Span {
+	return []Span{
+		{Phase: "admission", Tag: "", Wall: 50 * time.Microsecond},
+		{Phase: "partition", Tag: "", Wall: 2 * time.Millisecond,
+			Counters: Counters{LogicalReads: 7, PagesRead: 3}},
+		{Phase: "join", Tag: "w0", Wall: 5 * time.Millisecond,
+			Counters: Counters{LogicalReads: 40, Candidates: 9, TrueHits: 4}},
+		{Phase: "join", Tag: "w1", Wall: 4 * time.Millisecond,
+			Counters: Counters{LogicalReads: 38}},
+		{Phase: "merge", Tag: "", Wall: 0},
+	}
+}
+
+// TestChromeTraceRequiredFields: every exported event carries the Trace
+// Event Format's required keys — ph, ts, dur, pid, tid — in its marshaled
+// form, including events with zero duration (dur must not be omitempty).
+func TestChromeTraceRequiredFields(t *testing.T) {
+	tr := ChromeTraceFromSpans(exportSpans(), 42)
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents     []map[string]json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string                       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", decoded.DisplayTimeUnit)
+	}
+	if len(decoded.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+	for i, ev := range decoded.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d lacks required field %q: %v", i, key, ev)
+			}
+		}
+		var pid int
+		json.Unmarshal(ev["pid"], &pid)
+		if pid != 42 {
+			t.Fatalf("event %d pid = %d, want 42", i, pid)
+		}
+	}
+}
+
+// TestChromeTraceLayout: one thread row per distinct tag, sequential
+// timelines per row, metadata naming each row, and complete-event
+// durations preserving the spans' wall clock exactly.
+func TestChromeTraceLayout(t *testing.T) {
+	spans := exportSpans()
+	tr := ChromeTraceFromSpans(spans, 1)
+
+	threadNames := make(map[int]string)
+	var complete []ChromeTraceEvent
+	sawProcessName := false
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				sawProcessName = true
+			case "thread_name":
+				threadNames[ev.Tid] = ev.Args["name"].(string)
+			}
+		case "X":
+			complete = append(complete, ev)
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if !sawProcessName {
+		t.Fatal("no process_name metadata event")
+	}
+	if len(complete) != len(spans) {
+		t.Fatalf("%d complete events for %d spans", len(complete), len(spans))
+	}
+	// Tags "" (→ "main"), "w0", "w1" become three rows.
+	if len(threadNames) != 3 {
+		t.Fatalf("thread rows = %v, want 3 rows", threadNames)
+	}
+	if threadNames[0] != "main" {
+		t.Fatalf("untagged row named %q, want main", threadNames[0])
+	}
+
+	// Per-row, events must tile the timeline: each starts where the
+	// previous ended, each dur equals the span's wall in µs.
+	cursor := make(map[int]float64)
+	for i, ev := range complete {
+		if ev.Ts != cursor[ev.Tid] {
+			t.Fatalf("event %d (%s) ts = %g, want cursor %g", i, ev.Name, ev.Ts, cursor[ev.Tid])
+		}
+		wantDur := float64(spans[i].Wall) / float64(time.Microsecond)
+		if ev.Dur != wantDur {
+			t.Fatalf("event %d (%s) dur = %g, want %g", i, ev.Name, ev.Dur, wantDur)
+		}
+		cursor[ev.Tid] += ev.Dur
+	}
+
+	// Counter deltas ride in args; zero counters are dropped.
+	if complete[1].Args["logical_reads"].(int64) != 7 {
+		t.Fatalf("partition args = %v, want logical_reads 7", complete[1].Args)
+	}
+	if _, ok := complete[1].Args["candidates"]; ok {
+		t.Fatalf("zero counter exported: %v", complete[1].Args)
+	}
+	if complete[4].Args != nil {
+		t.Fatalf("all-zero span exported args %v, want none", complete[4].Args)
+	}
+}
+
+// TestRuntimeCollector: the runtime families land in the registry with
+// sane values, and repeated collection keeps the cumulative counters
+// monotone.
+func TestRuntimeCollector(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg, time.Time{})
+	c.Collect()
+	snap := reg.Snapshot()
+	if snap.Values["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %g, want >= 1", snap.Values["go_goroutines"])
+	}
+	if snap.Values["go_heap_inuse_bytes"] <= 0 {
+		t.Fatalf("go_heap_inuse_bytes = %g, want > 0", snap.Values["go_heap_inuse_bytes"])
+	}
+	if snap.Values["go_alloc_bytes_total"] <= 0 {
+		t.Fatalf("go_alloc_bytes_total = %g, want > 0", snap.Values["go_alloc_bytes_total"])
+	}
+	if snap.Values["process_uptime_seconds"] <= 0 {
+		t.Fatalf("process_uptime_seconds = %g, want > 0", snap.Values["process_uptime_seconds"])
+	}
+	if _, ok := snap.Hists["go_gc_pause_seconds"]; !ok {
+		t.Fatal("go_gc_pause_seconds histogram not in snapshot")
+	}
+
+	first := snap.Values["go_alloc_bytes_total"]
+	_ = make([]byte, 1<<20)
+	c.Collect()
+	snap = reg.Snapshot()
+	if snap.Values["go_alloc_bytes_total"] < first {
+		t.Fatalf("go_alloc_bytes_total went backwards: %g -> %g", first, snap.Values["go_alloc_bytes_total"])
+	}
+}

@@ -1,0 +1,51 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build attribution: journal artifacts are planner training data, so
+// every observation corpus must be traceable to the binary that produced
+// it — GET /stats carries the block, and /metrics exposes the same facts
+// as the cij_build_info gauge's labels.
+
+// BuildInfoJSON identifies the running binary in GET /stats.
+type BuildInfoJSON struct {
+	GoVersion     string `json:"go_version"`
+	Module        string `json:"module,omitempty"`
+	ModuleVersion string `json:"module_version,omitempty"`
+	// Revision is the VCS commit the binary was built from (when the
+	// build had VCS metadata; test binaries usually do not).
+	Revision string `json:"vcs_revision,omitempty"`
+	Modified bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfoVal  BuildInfoJSON
+)
+
+// buildInfo reads the binary's build metadata once (runtime/debug walks
+// the embedded build info each call, so cache it).
+func buildInfo() BuildInfoJSON {
+	buildInfoOnce.Do(func() {
+		buildInfoVal = BuildInfoJSON{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfoVal.Module = bi.Main.Path
+		buildInfoVal.ModuleVersion = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfoVal.Revision = s.Value
+			case "vcs.modified":
+				buildInfoVal.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfoVal
+}

@@ -56,6 +56,12 @@ type resultCache struct {
 	hits    int64
 	misses  int64
 	evicted int64
+	// Exported mirrors of hits/misses: real monotone metric counters
+	// (cij_cache_hits_total / cij_cache_misses_total) ticked at the
+	// lookup, so windowed hit-ratios are computable from scrape deltas.
+	// Nil until setCounters (they live on the service's registry).
+	hitsC   *obs.Counter
+	missesC *obs.Counter
 }
 
 type cacheSlot struct {
@@ -82,10 +88,24 @@ func (c *resultCache) get(key string) (*cachedResult, bool) {
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
+		if c.hitsC != nil {
+			c.hitsC.Inc()
+		}
 		return el.Value.(*cacheSlot).res, true
 	}
 	c.misses++
+	if c.missesC != nil {
+		c.missesC.Inc()
+	}
 	return nil, false
+}
+
+// setCounters installs the metric mirrors of the hit/miss counts; called
+// once at service construction, before any lookup.
+func (c *resultCache) setCounters(hits, misses *obs.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hitsC, c.missesC = hits, misses
 }
 
 // put stores res under key, evicting from the LRU tail on overflow.

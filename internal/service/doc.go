@@ -57,7 +57,14 @@
 //	                        progress lines from the parallel engine's
 //	                        OnProgress hook, then one summary line
 //	GET  /stats             counters: datasets, joins, cache, page accesses
+//	GET  /stats/history     windowed rates/quantiles from the self-scraped
+//	                        metrics ring (?window=30s)
 //	GET  /metrics           Prometheus text exposition of every family
+//	GET  /debug/queries     the query journal: recent observation records,
+//	                        filterable by ?dataset= ?algo= ?min_ms= ?limit=
+//	GET  /debug/queries/{id}            one record, retained trace inline
+//	GET  /debug/queries/{id}/trace.json the retained trace as Chrome
+//	                        trace-event JSON (chrome://tracing, Perfetto)
 //
 // The buffered and streaming paths share one executor and one encoding
 // (encode.go); cmd/cijtool's -json flag emits the same JoinResponse, so
@@ -78,4 +85,36 @@
 // the per-phase obs.Trace spans to the response (or as a "trace" NDJSON
 // line); Config.SlowQuery arms a slow-query log that dumps the full phase
 // trace of any join over the threshold through Config.Logger (log/slog).
+//
+// # Query journal: the observation record as a training contract
+//
+// journal.go records every served join as one JournalRecord — the
+// observation corpus the ROADMAP's learned planner (a fitted cost model
+// replacing the hand-tuned gates) trains from. Each record is
+// deliberately self-contained: it pairs the full decision context with
+// the measured outcome, so a single JSONL line is one supervised example
+// with no joins against other logs required.
+//
+//   - Identity: ID (the query ID threaded through JoinResponse.QueryID,
+//     the NDJSON summary line and every slog record), Time, and the
+//     dataset names *with versions* — observations survive re-ingests
+//     without silently mixing distributions.
+//   - Decision: the executed Plan (algo, storage, workers), Cached, the
+//     planner's narrated Reason, and PlanInputs (cardinalities, skew
+//     statistics, the gate constants in force) — the feature vector.
+//   - Outcome: Pairs and Stats, where Stats is built by the same
+//     projection as the JoinResponse's (Outcome.statsJSON), making the
+//     journal byte-equal to the response and, because the metric
+//     families are fed from the same storage.Stats, reconciled with
+//     /metrics counter deltas — the label vector, already consistent
+//     with every other surface.
+//
+// The in-memory ring keeps the newest records plus the phase traces of
+// the slowest-K computed joins; cijserver's -journal flag appends every
+// record (traces included) to a JSONL file, and ReadJournal replays it.
+// Explain attaches Journal.Observed — the aggregate over matching past
+// observations — next to the model's reasoning, so the modeled-vs-
+// observed gap is visible per plan before any learning exists.
+// Config.JournalEntries < 0 disables the subsystem entirely (a nil
+// *Journal no-ops), restoring the untraced hot path.
 package service

@@ -105,6 +105,11 @@ type JoinRequest struct {
 // JoinResponse is the buffered join result — the shared response encoding
 // of POST /join and `cijtool join -json`.
 type JoinResponse struct {
+	// QueryID is the service-assigned observation identity: the same ID
+	// keys this join's journal record (GET /debug/queries/{id}), its slog
+	// lines and the slow-query dump. 0 from contexts that assign no IDs
+	// (cijtool).
+	QueryID      int64  `json:"query_id,omitempty"`
 	Left         string `json:"left"`
 	LeftVersion  int    `json:"left_version,omitempty"`
 	Right        string `json:"right"`
@@ -140,6 +145,17 @@ func NewJoinResponse(left, right, algo string, workers int, pairs []core.Pair, i
 	}
 }
 
+// statsJSON projects the outcome's cost onto the wire form — the single
+// source of the response's and the journal record's Stats, which is what
+// makes the two byte-equal by construction.
+func (o *Outcome) statsJSON() JoinStatsJSON {
+	st := statsFromIO(o.Result.IO, o.Result.CPU)
+	if o.Cached {
+		st = JoinStatsJSON{WallMS: st.WallMS} // a hit performs no I/O
+	}
+	return st
+}
+
 // response builds the JoinResponse for one dispatcher outcome. withTrace
 // attaches the recorded phase spans (when the run was traced; requests
 // that did not opt in leave the block off even if the slow-query log
@@ -147,13 +163,12 @@ func NewJoinResponse(left, right, algo string, workers int, pairs []core.Pair, i
 func (o *Outcome) response(topK int, withTrace bool) JoinResponse {
 	resp := NewJoinResponse(o.Left.Name, o.Right.Name, o.Plan.Algo, o.Plan.Workers,
 		o.Result.Pairs, o.Result.IO, o.Result.CPU, topK)
+	resp.QueryID = o.QueryID
 	resp.Storage = o.Plan.Storage
 	resp.LeftVersion = o.Left.Version
 	resp.RightVersion = o.Right.Version
 	resp.Cached = o.Cached
-	if o.Cached {
-		resp.Stats = JoinStatsJSON{WallMS: resp.Stats.WallMS} // a hit performs no I/O
-	}
+	resp.Stats = o.statsJSON()
 	if withTrace {
 		resp.Trace = NewTraceJSON(o.Result.Trace, o.Result.TraceDropped)
 	}
@@ -234,6 +249,7 @@ func datasetInfo(d *Dataset) DatasetInfo {
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
 	UptimeMS      float64       `json:"uptime_ms"`
+	Build         BuildInfoJSON `json:"build"`
 	Datasets      []DatasetInfo `json:"datasets"`
 	Ingests       int64         `json:"ingests"`
 	JoinsServed   int64         `json:"joins_served"`
@@ -263,6 +279,7 @@ func (s *Service) StatsSnapshot() StatsResponse {
 	}
 	return StatsResponse{
 		UptimeMS:      float64(time.Since(s.start)) / float64(time.Millisecond),
+		Build:         buildInfo(),
 		Datasets:      infos,
 		Ingests:       s.ingests.Load(),
 		JoinsServed:   s.joinsServed.Load(),

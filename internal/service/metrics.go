@@ -35,6 +35,9 @@ type serviceMetrics struct {
 
 	admissionWait    *obs.Histogram // cij_admission_wait_seconds
 	admissionWaiting *obs.Gauge     // requests currently queued for a slot
+
+	cacheHits   *obs.Counter // cij_cache_hits_total (monotone, cache-fed)
+	cacheMisses *obs.Counter // cij_cache_misses_total
 }
 
 // newServiceMetrics registers the service's metric families on a fresh
@@ -77,16 +80,21 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 			"Joins currently queued for an admission slot."),
 	}
 
-	reg.CounterFunc("cij_result_cache_hits_total",
-		"Result-cache hits.", func() float64 {
-			hits, _, _, _ := s.cache.counters()
-			return float64(hits)
-		})
-	reg.CounterFunc("cij_result_cache_misses_total",
-		"Result-cache misses.", func() float64 {
-			_, misses, _, _ := s.cache.counters()
-			return float64(misses)
-		})
+	// Hits and misses are real monotone counters (not func-backed views):
+	// the history ring computes hit-ratio over arbitrary windows from
+	// counter deltas, which requires the series to exist as stored,
+	// atomically ticking samples.
+	m.cacheHits = reg.Counter("cij_cache_hits_total",
+		"Result-cache hits.")
+	m.cacheMisses = reg.Counter("cij_cache_misses_total",
+		"Result-cache misses.")
+	s.cache.setCounters(m.cacheHits, m.cacheMisses)
+
+	reg.GaugeVec("cij_build_info",
+		"Build attribution of this binary; constant 1, the payload is the labels.",
+		"go_version", "module_version", "vcs_revision").
+		With(buildInfo().GoVersion, buildInfo().ModuleVersion, buildInfo().Revision).Set(1)
+
 	reg.CounterFunc("cij_result_cache_evictions_total",
 		"Results evicted from the cache.", func() float64 {
 			_, _, evicted, _ := s.cache.counters()

@@ -319,8 +319,11 @@ func TestMetricsFuncFamilies(t *testing.T) {
 	if m[`cij_ingests_total`] != 2 {
 		t.Fatalf("cij_ingests_total = %g, want 2", m[`cij_ingests_total`])
 	}
-	if m[`cij_result_cache_hits_total`] != 1 {
-		t.Fatalf("cij_result_cache_hits_total = %g, want 1", m[`cij_result_cache_hits_total`])
+	if m[`cij_cache_hits_total`] != 1 {
+		t.Fatalf("cij_cache_hits_total = %g, want 1", m[`cij_cache_hits_total`])
+	}
+	if m[`cij_cache_misses_total`] != 1 {
+		t.Fatalf("cij_cache_misses_total = %g, want 1", m[`cij_cache_misses_total`])
 	}
 	if m[`cij_result_cache_entries`] != 1 {
 		t.Fatalf("cij_result_cache_entries = %g, want 1", m[`cij_result_cache_entries`])

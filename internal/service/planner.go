@@ -255,6 +255,10 @@ type Explanation struct {
 	Plan   Plan       `json:"plan"`
 	Reason string     `json:"reason"`
 	Inputs PlanInputs `json:"inputs"`
+	// Observed is the journal's aggregate over past executions of this
+	// exact plan on these exact dataset versions — the "observed" half of
+	// modeled-vs-observed. Omitted when the journal is disabled.
+	Observed *ObservedJSON `json:"observed,omitempty"`
 }
 
 // Explain resolves and plans q without executing anything — the backing of
@@ -268,7 +272,15 @@ func (s *Service) Explain(q Query) (Explanation, error) {
 	if !ok {
 		return Explanation{}, fmt.Errorf("unknown dataset %q", q.Right)
 	}
-	return explain(s.applyDefaultStorage(q), left, right)
+	ex, err := explain(s.applyDefaultStorage(q), left, right)
+	if err != nil {
+		return ex, err
+	}
+	if s.journal.Enabled() {
+		seen := s.journal.Observed(left.Name, left.Version, right.Name, right.Version, ex.Plan)
+		ex.Observed = &seen
+	}
+	return ex, nil
 }
 
 // explain runs the planner and narrates which branch fired. The reasons

@@ -36,7 +36,17 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /join", s.instrument("join", s.handleJoin))
 	mux.HandleFunc("GET /join/stream", s.instrument("join_stream", s.handleJoinStream))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
-	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	mux.HandleFunc("GET /stats/history", s.instrument("stats_history", s.handleStatsHistory))
+	mux.HandleFunc("GET /debug/queries", s.instrument("debug_queries", s.handleDebugQueries))
+	mux.HandleFunc("GET /debug/queries/{id}", s.instrument("debug_query", s.handleDebugQuery))
+	mux.HandleFunc("GET /debug/queries/{id}/trace.json", s.instrument("debug_query_trace", s.handleDebugQueryTrace))
+	metricsHandler := s.metrics.reg.Handler()
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Runtime families are push-fed; refresh them so every scrape
+		// (and only scrapes) pays the ReadMemStats.
+		s.runtime.Collect()
+		metricsHandler.ServeHTTP(w, r)
+	}))
 	return mux
 }
 

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"runtime"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"cij/internal/obs"
+	"cij/internal/obs/history"
 )
 
 // Config tunes a Service.
@@ -35,6 +37,22 @@ type Config struct {
 	// tree algorithms), "flat", or "paged" (pin every tree join to the
 	// paper's LRU-buffered disk format).
 	DefaultStorage string
+	// JournalEntries caps the query-journal ring; < 0 disables journaling
+	// entirely, 0 selects the default (DefaultJournalEntries). With the
+	// journal on, every computed join is traced so the slowest-K can
+	// retain their phase breakdowns.
+	JournalEntries int
+	// JournalSlowest caps the retained slowest-query traces; <= 0 selects
+	// the default (DefaultJournalSlowest).
+	JournalSlowest int
+	// JournalSink, when non-nil, receives one JSON line per observation —
+	// the append-only JSONL persistence of the journal (cijserver's
+	// -journal flag opens a file here).
+	JournalSink io.Writer
+	// HistoryCapacity caps the metrics-history ring; <= 0 selects the
+	// default (history.DefaultCapacity). Sampling starts only when the
+	// caller runs History().Start (cijserver's -history-interval).
+	HistoryCapacity int
 }
 
 // Service is the CIJ query service: registry + planner + result cache
@@ -47,6 +65,10 @@ type Service struct {
 	start   time.Time
 	logger  *slog.Logger
 	metrics *serviceMetrics
+	journal *Journal // nil when Config.JournalEntries < 0
+	history *history.Ring
+	runtime *obs.RuntimeCollector
+	queryID atomic.Int64 // last assigned query ID; threads all four surfaces
 
 	// Single-flight table: one entry per join computation in progress,
 	// keyed like the cache, so a burst of identical first-time queries
@@ -96,9 +118,22 @@ func New(cfg Config) *Service {
 		start:   time.Now(),
 		logger:  logger,
 	}
+	if cfg.JournalEntries >= 0 {
+		s.journal = NewJournal(cfg.JournalEntries, cfg.JournalSlowest, cfg.JournalSink)
+	}
 	s.metrics = newServiceMetrics(s)
+	s.runtime = obs.NewRuntimeCollector(s.metrics.reg, s.start)
+	s.history = history.New(s.metrics.reg, cfg.HistoryCapacity, s.runtime.Collect)
 	return s
 }
+
+// Journal exposes the query journal (nil when disabled) — the backing of
+// GET /debug/queries and the tests' observation source.
+func (s *Service) Journal() *Journal { return s.journal }
+
+// History exposes the metrics-history ring. Sampling is caller-driven:
+// cijserver starts the interval loop, tests call Sample directly.
+func (s *Service) History() *history.Ring { return s.history }
 
 // Registry exposes the dataset registry (preloading, tests).
 func (s *Service) Registry() *Registry { return s.reg }
@@ -166,6 +201,9 @@ type Outcome struct {
 	Plan        Plan
 	Cached      bool
 	Left, Right *Dataset
+	// QueryID is this request's journal identity, threaded into the
+	// response, the stream summary and the slog records.
+	QueryID int64
 }
 
 // Join resolves, plans and executes one query. On a cache hit — or when
@@ -193,11 +231,16 @@ func (s *Service) Join(ctx context.Context, q Query, hooks execHooks) (*Outcome,
 	s.metrics.planner.With(pl.Algo).Inc()
 	s.metrics.plannerStorage.With(storageLabel(pl.Storage)).Inc()
 
+	// Every served join — cache hits included — is one observation, so
+	// every request gets a query ID up front (the slow-query log inside
+	// compute needs it before the outcome exists).
+	qid := s.queryID.Add(1)
+
 	key := cacheKey(left, right, pl.Algo, pl.Workers, pl.Storage)
 	if res, ok := s.cache.get(key); ok {
 		s.joinsServed.Add(1)
 		s.metrics.joins.With(pl.Algo, "cached").Inc()
-		return &Outcome{Result: res, Plan: pl, Cached: true, Left: left, Right: right}, nil
+		return s.record(q, &Outcome{Result: res, Plan: pl, Cached: true, Left: left, Right: right, QueryID: qid}), nil
 	}
 
 	s.flightMu.Lock()
@@ -213,12 +256,16 @@ func (s *Service) Join(ctx context.Context, q Query, hooks execHooks) (*Outcome,
 		if f.res != nil {
 			s.joinsServed.Add(1)
 			s.metrics.joins.With(pl.Algo, "cached").Inc()
-			return &Outcome{Result: f.res, Plan: pl, Cached: true, Left: left, Right: right}, nil
+			return s.record(q, &Outcome{Result: f.res, Plan: pl, Cached: true, Left: left, Right: right, QueryID: qid}), nil
 		}
 		// The leader bailed before executing (admission cancelled);
 		// compute directly — the admission semaphore still bounds a
 		// stampede of orphaned followers.
-		return s.compute(ctx, key, pl, left, right, hooks)
+		out, err := s.compute(ctx, qid, key, pl, left, right, hooks)
+		if err != nil {
+			return nil, err
+		}
+		return s.record(q, out), nil
 	}
 	f := &flight{done: make(chan struct{})}
 	s.flights[key] = f
@@ -230,16 +277,56 @@ func (s *Service) Join(ctx context.Context, q Query, hooks execHooks) (*Outcome,
 		close(f.done)
 	}()
 
-	out, err := s.compute(ctx, key, pl, left, right, hooks)
-	if err == nil {
-		f.res = out.Result
+	out, err := s.compute(ctx, qid, key, pl, left, right, hooks)
+	if err != nil {
+		return nil, err
 	}
-	return out, err
+	f.res = out.Result
+	return s.record(q, out), nil
+}
+
+// record journals one served join: the planner's inputs and narrated
+// reason next to the measured outcome, with the computed run's phase
+// spans competing for slowest-K retention. The record's Stats is built by
+// the same projection the JoinResponse uses, so the two are byte-equal.
+func (s *Service) record(q Query, out *Outcome) *Outcome {
+	if !s.journal.Enabled() {
+		return out
+	}
+	rec := JournalRecord{
+		ID:           out.QueryID,
+		Time:         time.Now(),
+		Left:         out.Left.Name,
+		LeftVersion:  out.Left.Version,
+		Right:        out.Right.Name,
+		RightVersion: out.Right.Version,
+		Algo:         out.Plan.Algo,
+		Storage:      out.Plan.Storage,
+		Workers:      out.Plan.Workers,
+		Cached:       out.Cached,
+		Pairs:        out.Result.Count,
+		Stats:        out.statsJSON(),
+		Slow:         !out.Cached && s.cfg.SlowQuery > 0 && out.Result.CPU >= s.cfg.SlowQuery,
+	}
+	// The narration re-runs the (deterministic) planner; the journal line
+	// must stand alone as a training observation, so it carries the full
+	// decision context, not a pointer to it.
+	if ex, err := explain(q, out.Left, out.Right); err == nil {
+		rec.Reason = ex.Reason
+		rec.Inputs = ex.Inputs
+	}
+	var spans []obs.Span
+	var dropped int64
+	if !out.Cached {
+		spans, dropped = out.Result.Trace, out.Result.TraceDropped
+	}
+	s.journal.Add(rec, spans, dropped)
+	return out
 }
 
 // compute runs one planned join under the admission semaphore and records
 // it in the cache, the counters and the metric families.
-func (s *Service) compute(ctx context.Context, key string, pl Plan, left, right *Dataset, hooks execHooks) (*Outcome, error) {
+func (s *Service) compute(ctx context.Context, qid int64, key string, pl Plan, left, right *Dataset, hooks execHooks) (*Outcome, error) {
 	waitStart := time.Now()
 	s.metrics.admissionWaiting.Add(1)
 	select {
@@ -253,10 +340,11 @@ func (s *Service) compute(ctx context.Context, key string, pl Plan, left, right 
 	wait := time.Since(waitStart)
 	s.metrics.admissionWait.Observe(wait.Seconds())
 
-	// Trace when the request opted in or the slow-query log is armed (a
-	// slow join must be able to dump its phases after the fact).
+	// Trace when the request opted in, the slow-query log is armed (a
+	// slow join must be able to dump its phases after the fact), or the
+	// journal is on (the slowest-K retention needs spans to retain).
 	var tr *obs.Trace
-	if hooks.trace || s.cfg.SlowQuery > 0 {
+	if hooks.trace || s.cfg.SlowQuery > 0 || s.journal.Enabled() {
 		tr = obs.NewTrace()
 		tr.Add("admission", "", wait, obs.Counters{})
 	}
@@ -275,6 +363,7 @@ func (s *Service) compute(ctx context.Context, key string, pl Plan, left, right 
 	s.metrics.recordJoinIO(res.IO, pl.Storage)
 
 	logArgs := []any{
+		"query_id", qid,
 		"left", left.Name, "right", right.Name,
 		"algo", pl.Algo, "workers", pl.Workers,
 		"storage", pl.Storage,
@@ -291,7 +380,7 @@ func (s *Service) compute(ctx context.Context, key string, pl Plan, left, right 
 	} else {
 		s.logger.Info("join computed", logArgs...)
 	}
-	return &Outcome{Result: res, Plan: pl, Left: left, Right: right}, nil
+	return &Outcome{Result: res, Plan: pl, Left: left, Right: right, QueryID: qid}, nil
 }
 
 // InFlight reports how many joins currently hold an admission slot.

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # smoke_server.sh — end-to-end smoke of cmd/cijserver: build and start the
 # server, load two generated datasets, run a buffered join and a streamed
-# join, and assert HTTP 200 with non-empty pairs. CI runs this on every
-# push (`make smoke-server`); it needs only curl + grep/sed.
+# join, and assert HTTP 200 with non-empty pairs; then exercise the
+# introspection surface (query journal, metrics history, Chrome trace
+# export). CI runs this on every push (`make smoke-server`); it needs only
+# curl + grep/sed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +13,8 @@ base="http://127.0.0.1:$PORT"
 tmp=$(mktemp -d)
 go build -o "$tmp/cijserver" ./cmd/cijserver
 
-"$tmp/cijserver" -addr "127.0.0.1:$PORT" >"$tmp/server.log" 2>&1 &
+"$tmp/cijserver" -addr "127.0.0.1:$PORT" -history-interval 100ms \
+  -journal "$tmp/journal.jsonl" >"$tmp/server.log" 2>&1 &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
@@ -106,4 +109,83 @@ if [ -z "$pages" ] || [ "$pages" -le 0 ]; then
   exit 1
 fi
 
-echo "server smoke OK: $count pairs, cache hit, stream summary, explain, trace and /metrics verified"
+# Runtime, build and cache-counter families are exported too.
+for family in go_goroutines go_heap_inuse_bytes go_gc_pause_seconds_bucket \
+              process_uptime_seconds cij_build_info cij_cache_hits_total \
+              cij_cache_misses_total; do
+  printf '%s\n' "$metrics" | grep -q "^$family" || {
+    echo "metrics family $family missing"
+    exit 1
+  }
+done
+
+# --- query journal ---
+
+# A fresh computed join gets a query ID; its journal record's stats block
+# must be byte-identical to the response's.
+join_resp=$(curl -sf -X POST "$base/join" -H 'Content-Type: application/json' \
+  -d '{"left":"a","right":"b","algo":"fm","topk":1}')
+qid=$(printf '%s' "$join_resp" | sed -n 's/.*"query_id":\([0-9][0-9]*\).*/\1/p')
+if [ -z "$qid" ]; then
+  echo "join response carries no query_id: $join_resp"
+  exit 1
+fi
+resp_stats=$(printf '%s' "$join_resp" | sed -n 's/.*"stats":{\([^}]*\)}.*/\1/p')
+journal_rec=$(curl -sf "$base/debug/queries/$qid")
+rec_stats=$(printf '%s' "$journal_rec" | sed -n 's/.*"stats":{\([^}]*\)}.*/\1/p')
+if [ -z "$resp_stats" ] || [ "$resp_stats" != "$rec_stats" ]; then
+  echo "journal stats {$rec_stats} != response stats {$resp_stats}"
+  exit 1
+fi
+
+# The listing endpoint filters and reports the total.
+curl -sf "$base/debug/queries?algo=fm&limit=5" | grep -q '"algo":"fm"' || {
+  echo "/debug/queries?algo=fm did not list the fm join"
+  exit 1
+}
+
+# The journaled join's trace renders as Chrome trace-event JSON.
+chrome=$(curl -sf "$base/debug/queries/$qid/trace.json")
+for field in '"traceEvents"' '"ph"' '"ts"' '"dur"' '"pid"' '"tid"'; do
+  printf '%s' "$chrome" | grep -q "$field" || {
+    echo "trace.json lacks $field: $chrome"
+    exit 1
+  }
+done
+
+# The JSONL sink received one line per served join, replayable as JSON.
+if [ ! -s "$tmp/journal.jsonl" ]; then
+  echo "-journal sink file empty"
+  exit 1
+fi
+grep -q "\"id\":$qid" "$tmp/journal.jsonl" || {
+  echo "journal sink lacks query $qid"
+  exit 1
+}
+
+# --- metrics history ---
+
+# At -history-interval 100ms the self-scraper has taken several samples by
+# now; the windowed view must report them plus the join traffic above.
+sleep 0.3
+history=$(curl -sf "$base/stats/history?window=1h")
+samples=$(printf '%s' "$history" | sed -n 's/.*"samples":\([0-9][0-9]*\).*/\1/p')
+if [ -z "$samples" ] || [ "$samples" -lt 2 ]; then
+  echo "stats/history reports $samples samples, want >= 2: $history"
+  exit 1
+fi
+for field in '"requests_per_sec"' '"joins_per_sec"' '"http_latency"' \
+             '"cache_hit_ratio"' '"series"'; do
+  printf '%s' "$history" | grep -q "$field" || {
+    echo "stats/history lacks $field"
+    exit 1
+  }
+done
+
+# /stats carries the build block.
+curl -sf "$base/stats" | grep -q '"build":{"go_version"' || {
+  echo "/stats lacks build info"
+  exit 1
+}
+
+echo "server smoke OK: $count pairs, cache hit, stream summary, explain, trace, /metrics, journal and history verified"
