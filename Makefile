@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-flat bench-parallel bench-grid scal serve smoke-server bench-service metrics-smoke journal-smoke
+.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-flat bench-parallel bench-grid scal serve smoke-server bench-service metrics-smoke journal-smoke mutate-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-check: build vet race prop metrics-smoke journal-smoke
+check: build vet race prop metrics-smoke journal-smoke mutate-smoke
 
 # Observability slice under the race detector: the obs metric/trace
 # primitives (concurrent scrape-while-mutate, shared-trace Add) and the
@@ -38,13 +38,25 @@ journal-smoke:
 	$(GO) test -race -run 'TestJournal|TestDebugQueries|TestStatsHistory|TestExplainObserved|TestChromeTrace|TestRuntimeCollector|TestRingWraparound|TestWindow|TestStartStop' \
 		./internal/obs/... ./internal/service/...
 
+# Mutation slice under the race detector: the live-dataset surface —
+# mutation batches vs the brute-force oracle across every algorithm,
+# snapshot isolation (joins racing point mutations always see one clean
+# version), subscription churn reconciliation (baseline + events == full
+# recompute), the field-exact cache invalidation regression, and the
+# panic-recovery middleware.
+mutate-smoke:
+	$(GO) test -race -run 'TestMutate|TestSubscribeChurn|TestCacheInvalidationExactNames|TestInstrumentPanicRecovery' \
+		./internal/service/...
+
 # Property-based equivalence harness (internal/check): the fixed seed
-# matrix holding NM ≡ PM ≡ FM ≡ parallel ≡ grid ≡ brute, plus the
-# planner's algo-selection tests, under the race detector with a coverage
-# profile over the whole module (CI uploads coverage.out).
+# matrix holding NM ≡ PM ≡ FM ≡ parallel ≡ grid ≡ brute, the delta
+# maintenance oracle (incremental pair churn ≡ full recompute across the
+# same seed matrix × insert/delete/update batches), plus the planner's
+# algo-selection tests, under the race detector with a coverage profile
+# over the whole module (CI uploads coverage.out).
 prop:
 	$(GO) test -race -coverprofile=coverage.out -coverpkg=./... \
-		-run 'TestEquivalenceSeeds|TestInvariantSeeds|TestGeneratorShape|TestFlatPagedEquivalence|TestFlatStatsEquivalenceParallel|TestPlanSelection|TestIngestComputesSkew|TestConcurrentAutoAndGridJoins' \
+		-run 'TestEquivalenceSeeds|TestInvariantSeeds|TestGeneratorShape|TestFlatPagedEquivalence|TestFlatStatsEquivalenceParallel|TestPlanSelection|TestIngestComputesSkew|TestConcurrentAutoAndGridJoins|TestDeltaSeeds|TestMutateSnapshotIsolationRace' \
 		./internal/check/... ./internal/service/...
 
 bench:

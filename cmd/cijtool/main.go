@@ -3,9 +3,10 @@
 //
 // Subcommands:
 //
-//	cijtool gen  -kind uniform|clustered|PP|SC|CE|LO|PA -n 1000 -seed 1 -o pts.csv
-//	cijtool join -p restaurants.csv -q cinemas.csv [-algo nm|pm|fm|grid] [-pairs] [-json]
-//	cijtool vor  -p pts.csv -site 17
+//	cijtool gen   -kind uniform|clustered|PP|SC|CE|LO|PA -n 1000 -seed 1 -o pts.csv
+//	cijtool join  -p restaurants.csv -q cinemas.csv [-algo nm|pm|fm|grid] [-pairs] [-json]
+//	cijtool delta -p left.csv -q right.csv -insert "x,y;..." -delete "0,5" -update "3:x,y" [-verify]
+//	cijtool vor   -p pts.csv -site 17
 //
 // Input CSVs are "x,y" lines; coordinates are normalized to the library's
 // [0,10000]² domain before indexing.
@@ -16,10 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"cij/internal/core"
 	"cij/internal/dataset"
+	"cij/internal/delta"
 	"cij/internal/exp"
 	"cij/internal/geom"
 	"cij/internal/grid"
@@ -40,6 +44,8 @@ func main() {
 		err = runGen(os.Args[2:])
 	case "join":
 		err = runJoin(os.Args[2:])
+	case "delta":
+		err = runDelta(os.Args[2:])
 	case "vor":
 		err = runVor(os.Args[2:])
 	case "-h", "--help", "help":
@@ -57,9 +63,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cijtool gen  -kind uniform|clustered|PP|SC|CE|LO|PA -n 1000 -seed 1 [-clusters 20] -o out.csv
-  cijtool join -p left.csv -q right.csv [-algo nm|pm|fm|grid] [-pairs] [-json] [-trace-out t.json] [-buffer 2]
-  cijtool vor  -p pts.csv -site 0`)
+  cijtool gen   -kind uniform|clustered|PP|SC|CE|LO|PA -n 1000 -seed 1 [-clusters 20] -o out.csv
+  cijtool join  -p left.csv -q right.csv [-algo nm|pm|fm|grid] [-pairs] [-json] [-trace-out t.json] [-buffer 2]
+  cijtool delta -p left.csv -q right.csv [-insert "x,y;..."] [-delete "0,5"] [-update "3:x,y;..."] [-verify] [-json]
+  cijtool vor   -p pts.csv -site 0`)
 }
 
 func runGen(args []string) error {
@@ -255,6 +262,182 @@ func runJoin(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runDelta applies one mutation batch to pointset P and reports the join
+// churn the delta engine computes — which (p, q) pairs appear and
+// disappear — without recomputing the join. -verify re-runs two full NM
+// joins and asserts the incremental answer matches their diff exactly.
+func runDelta(args []string) error {
+	fs := flag.NewFlagSet("delta", flag.ExitOnError)
+	pPath := fs.String("p", "", "CSV of pointset P (the mutated side)")
+	qPath := fs.String("q", "", "CSV of pointset Q")
+	insert := fs.String("insert", "", `points to insert: "x,y;x,y;..." (normalized domain coordinates)`)
+	deletes := fs.String("delete", "", `point IDs to delete: "0,5,17" (CSV line numbers of -p, 0-based)`)
+	update := fs.String("update", "", `points to move: "id:x,y;id:x,y;..."`)
+	verify := fs.Bool("verify", false, "also run full joins before and after and assert the churn matches their diff")
+	asJSON := fs.Bool("json", false, "emit the churn as JSON on stdout")
+	buffer := fs.Float64("buffer", exp.DefaultBufferPct, "LRU buffer, % of data size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pPath == "" || *qPath == "" {
+		return fmt.Errorf("delta: -p and -q are required")
+	}
+	p, err := loadCSV(*pPath)
+	if err != nil {
+		return err
+	}
+	q, err := loadCSV(*qPath)
+	if err != nil {
+		return err
+	}
+	spec := service.MutationSpec{}
+	if spec.Insert, err = parsePointList(*insert); err != nil {
+		return fmt.Errorf("delta: -insert: %w", err)
+	}
+	if spec.Delete, err = parseIDList(*deletes); err != nil {
+		return fmt.Errorf("delta: -delete: %w", err)
+	}
+	if spec.Update, err = parseMoveList(*update); err != nil {
+		return fmt.Errorf("delta: -update: %w", err)
+	}
+
+	// The registry owns the mutation semantics (tombstoned IDs, COW
+	// snapshot of the old version), so the CLI reports exactly what the
+	// server would.
+	reg := service.NewRegistry(*buffer)
+	if _, err := reg.Put("p", p); err != nil {
+		return err
+	}
+	qd, err := reg.Put("q", q)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	old, cur, changes, err := reg.Mutate("p", spec)
+	if err != nil {
+		return fmt.Errorf("delta: %w", err)
+	}
+	oldT, newT, otherT := old.View(), cur.View(), qd.View()
+	res := delta.PairChurn(oldT, newT, otherT, changes, true, dataset.Domain)
+	elapsed := time.Since(start)
+	io := oldT.Buffer().Stats().Add(newT.Buffer().Stats()).Add(otherT.Buffer().Stats())
+
+	if *asJSON {
+		out := struct {
+			Added         []core.Pair `json:"added"`
+			Removed       []core.Pair `json:"removed"`
+			AffectedSites int         `json:"affected_sites"`
+			Probes        int         `json:"probes"`
+			PageAccesses  int64       `json:"page_accesses"`
+		}{res.Added, res.Removed, res.Affected, res.Probes, io.PageAccesses()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, pr := range res.Removed {
+			fmt.Printf("-pair\t%d\t%d\n", pr.P, pr.Q)
+		}
+		for _, pr := range res.Added {
+			fmt.Printf("+pair\t%d\t%d\n", pr.P, pr.Q)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "delta(%s ⋈ %s): %d changes, +%d/-%d pairs, %d sites recomputed, %d probes\n",
+		*pPath, *qPath, len(changes), len(res.Added), len(res.Removed), res.Affected, res.Probes)
+	fmt.Fprintf(os.Stderr, "I/O: %d page accesses; CPU %v\n", io.PageAccesses(), elapsed.Round(time.Millisecond))
+
+	if *verify {
+		opts := core.DefaultOptions()
+		opts.CollectPairs = true
+		before := pairKeySet(core.NMCIJ(old.View(), qd.View(), exp.Domain, opts).Pairs)
+		after := pairKeySet(core.NMCIJ(cur.View(), qd.View(), exp.Domain, opts).Pairs)
+		bad := 0
+		for _, pr := range res.Added {
+			if before[pr] || !after[pr] {
+				fmt.Fprintf(os.Stderr, "verify: spurious +pair %d,%d\n", pr.P, pr.Q)
+				bad++
+			}
+		}
+		for _, pr := range res.Removed {
+			if !before[pr] || after[pr] {
+				fmt.Fprintf(os.Stderr, "verify: spurious -pair %d,%d\n", pr.P, pr.Q)
+				bad++
+			}
+		}
+		churn := 0
+		for pr := range after {
+			if !before[pr] {
+				churn++
+			}
+		}
+		for pr := range before {
+			if !after[pr] {
+				churn++
+			}
+		}
+		if got := len(res.Added) + len(res.Removed); bad > 0 || got != churn {
+			return fmt.Errorf("verify: incremental churn (%d events, %d wrong) != full-recompute diff (%d events)", got, bad, churn)
+		}
+		fmt.Fprintln(os.Stderr, "verify: incremental churn matches the full-recompute diff exactly")
+	}
+	return nil
+}
+
+func pairKeySet(pairs []core.Pair) map[core.Pair]bool {
+	set := make(map[core.Pair]bool, len(pairs))
+	for _, pr := range pairs {
+		set[pr] = true
+	}
+	return set
+}
+
+func parsePointList(s string) ([]geom.Point, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []geom.Point
+	for _, item := range strings.Split(s, ";") {
+		var x, y float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(item), "%f,%f", &x, &y); err != nil {
+			return nil, fmt.Errorf("bad point %q (want x,y)", item)
+		}
+		out = append(out, geom.Pt(x, y))
+	}
+	return out, nil
+}
+
+func parseIDList(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, item := range strings.Split(s, ",") {
+		id, err := strconv.ParseInt(strings.TrimSpace(item), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad id %q", item)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func parseMoveList(s string) ([]service.PointMove, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []service.PointMove
+	for _, item := range strings.Split(s, ";") {
+		var id int64
+		var x, y float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(item), "%d:%f,%f", &id, &x, &y); err != nil {
+			return nil, fmt.Errorf("bad move %q (want id:x,y)", item)
+		}
+		out = append(out, service.PointMove{ID: id, Pt: geom.Pt(x, y)})
+	}
+	return out, nil
 }
 
 func runVor(args []string) error {

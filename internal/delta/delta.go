@@ -1,0 +1,281 @@
+// Package delta maintains a common-influence join incrementally under
+// point-level mutation. The paper's Lemma 1/2 bound the influence of any
+// single point to the region its Voronoi cell can reach, so a localized
+// insert, delete or move perturbs only the cells overlapping the changed
+// point's old and new cells — everything else of Vor(P) is geometrically
+// identical before and after, and so is every join verdict it
+// participates in. PairChurn exploits that: instead of recomputing
+// CIJ(P', Q) from scratch, it computes exactly which pairs appear and
+// disappear, touching O(affected sites) cells instead of O(|P|·|Q|).
+//
+// Correctness sketch (the internal/check oracle pins it across the full
+// adversarial seed matrix):
+//
+//   - A surviving site p's cell changes between Vor(P) and Vor(P') only
+//     if some location's nearest site flipped between p and a changed
+//     point. If a location moved OUT of V(p), its new owner must be an
+//     inserted point x (two surviving sites cannot swap ownership of a
+//     location when neither moved), so the location lies in
+//     V_old(p) ∩ V_new(x). Symmetrically, a location that moved INTO
+//     V(p) was owned by a deleted point x, so it lies in
+//     V_new(p) ∩ V_old(x). Affected sites are therefore exactly those
+//     whose old cell overlaps some inserted point's new cell, or whose
+//     new cell overlaps some deleted point's old cell — plus the changed
+//     points themselves. An update contributes both of its positions.
+//   - A cell whose symmetric difference has zero area yields identical
+//     intersection areas with every opposite cell, hence identical join
+//     verdicts; the screens above (positive-area overlap tests) are
+//     therefore complete, not just sound.
+//   - Candidate enumeration is the Lemma 1 bound in range-query form:
+//     for any location ℓ inside a convex region C, ℓ's nearest site q
+//     satisfies dist(ℓ,q) ≤ dist(ℓ,a) for the site a nearest to C's
+//     center, and dist(ℓ,a) ≤ max over C's vertices of dist(v,a) =: R by
+//     convexity. So every site whose cell meets C lies within R of C's
+//     bounding box, and one range search bounds the candidates exactly.
+//
+// Per affected site the engine recomputes the exact old and new cells
+// (voronoi.Workspace.BFVor against the before/after trees) and diffs the
+// site's join partners under the exact core.CellsJoinWith predicate, so
+// the emitted churn reproduces a full recompute byte-for-byte at the
+// pair-set level.
+package delta
+
+import (
+	"math"
+	"sort"
+
+	"cij/internal/core"
+	"cij/internal/geom"
+	"cij/internal/rtree"
+	"cij/internal/storage"
+	"cij/internal/voronoi"
+)
+
+// Op is the kind of one point-level change.
+type Op uint8
+
+const (
+	// OpInsert adds a point that did not exist before the mutation.
+	OpInsert Op = iota
+	// OpDelete removes an existing point.
+	OpDelete
+	// OpUpdate moves an existing point (same ID, new position).
+	OpUpdate
+)
+
+// String returns the wire name of the operation.
+func (op Op) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	}
+	return "unknown"
+}
+
+// Change is one point-level mutation of the joined dataset. The engine's
+// preconditions mirror how a registry applies a batch: each ID appears at
+// most once per batch, deletes and updates name points present in the old
+// tree, inserts name points absent from it, and the new tree is exactly
+// the old tree with every change applied.
+type Change struct {
+	Op Op
+	ID int64
+	// New is the position after the change (insert, update).
+	New geom.Point
+	// Old is the position before the change (delete, update).
+	Old geom.Point
+}
+
+// Result is the pair churn of one mutation batch: the pairs that exist
+// after but not before (Added) and before but not after (Removed), both
+// sorted lexicographically. Affected and Probes are the work metric — how
+// many mutated-side cells were recomputed and how many opposite-side
+// membership tests ran — the numbers that make "incremental beats
+// recompute" measurable per event.
+type Result struct {
+	Added   []core.Pair
+	Removed []core.Pair
+	// Affected counts mutated-side sites whose cells were recomputed
+	// (changed points included).
+	Affected int
+	// Probes counts exact join-predicate evaluations against the opposite
+	// dataset.
+	Probes int
+}
+
+// affectedSite tracks where one mutated-side site lives before and after
+// the batch. For sites untouched by the batch both positions coincide.
+type affectedSite struct {
+	id           int64
+	oldPt, newPt geom.Point
+	inOld, inNew bool
+}
+
+// engine bundles the reusable scratch of one PairChurn call.
+type engine struct {
+	ws     voronoi.Workspace // cell computation (results cloned when retained)
+	probe  voronoi.Workspace // candidate-cell computation inside screens
+	cl     geom.Clipper      // intersection tests; never aliases ws/probe output
+	domain geom.Rect
+	probes int
+}
+
+// PairChurn computes the join-pair churn caused by mutating one side of
+// CIJ(left, right). oldM and newM are the mutated dataset's trees before
+// and after the batch; other is the unchanged dataset's tree. mutatedLeft
+// reports whether the mutated dataset is the left operand (pairs are
+// (mutated, other)) or the right ((other, mutated)). All three trees are
+// only read; any handle kind works (paged views, flat views, mutable
+// clones).
+func PairChurn(oldM, newM, other *rtree.Tree, changes []Change, mutatedLeft bool, domain geom.Rect) Result {
+	e := &engine{domain: domain}
+
+	// Phase 1: collect affected mutated-side sites. The changed points
+	// seed the map with exact before/after placement; the screens add
+	// every survivor whose cell geometry can have changed.
+	aff := make(map[int64]*affectedSite, 2*len(changes))
+	for _, c := range changes {
+		s := &affectedSite{id: c.ID}
+		switch c.Op {
+		case OpInsert:
+			s.newPt, s.inNew = c.New, true
+		case OpDelete:
+			s.oldPt, s.inOld = c.Old, true
+		case OpUpdate:
+			s.oldPt, s.newPt, s.inOld, s.inNew = c.Old, c.New, true, true
+		}
+		aff[c.ID] = s
+	}
+	mark := func(s voronoi.Site) {
+		if _, ok := aff[s.ID]; ok {
+			return // a batch ID; seeded above with exact placement
+		}
+		// Discovered sites survive the batch untouched: present in both
+		// trees at the same position.
+		aff[s.ID] = &affectedSite{id: s.ID, oldPt: s.Pt, newPt: s.Pt, inOld: true, inNew: true}
+	}
+	for _, c := range changes {
+		if c.Op == OpInsert || c.Op == OpUpdate {
+			// Survivors whose OLD cell overlaps the inserted position's NEW
+			// cell may have lost territory to it.
+			region := e.ws.BFVor(newM, voronoi.Site{ID: c.ID, Pt: c.New}, domain).Clone()
+			e.sitesTouching(oldM, region, mark)
+		}
+		if c.Op == OpDelete || c.Op == OpUpdate {
+			// Survivors whose NEW cell overlaps the deleted position's OLD
+			// cell may have gained its territory.
+			region := e.ws.BFVor(oldM, voronoi.Site{ID: c.ID, Pt: c.Old}, domain).Clone()
+			e.sitesTouching(newM, region, mark)
+		}
+	}
+
+	// Phase 2: per affected site, diff the exact join-partner sets of its
+	// old and new cells. Sites are processed in ID order so the emitted
+	// churn is deterministic.
+	ids := make([]int64, 0, len(aff))
+	for id := range aff {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var res Result
+	res.Affected = len(ids)
+	oldSet := make(map[int64]bool)
+	newSet := make(map[int64]bool)
+	for _, id := range ids {
+		s := aff[id]
+		clear(oldSet)
+		clear(newSet)
+		if s.inOld {
+			region := e.ws.BFVor(oldM, voronoi.Site{ID: id, Pt: s.oldPt}, domain).Clone()
+			e.joinPartners(other, region, mutatedLeft, oldSet)
+		}
+		if s.inNew {
+			region := e.ws.BFVor(newM, voronoi.Site{ID: id, Pt: s.newPt}, domain).Clone()
+			e.joinPartners(other, region, mutatedLeft, newSet)
+		}
+		for q := range oldSet {
+			if !newSet[q] {
+				res.Removed = append(res.Removed, orient(id, q, mutatedLeft))
+			}
+		}
+		for q := range newSet {
+			if !oldSet[q] {
+				res.Added = append(res.Added, orient(id, q, mutatedLeft))
+			}
+		}
+	}
+	core.SortPairs(res.Added)
+	core.SortPairs(res.Removed)
+	res.Probes = e.probes
+	return res
+}
+
+// orient builds a pair with the mutated site on the configured side.
+func orient(mutated, other int64, mutatedLeft bool) core.Pair {
+	if mutatedLeft {
+		return core.Pair{P: mutated, Q: other}
+	}
+	return core.Pair{P: other, Q: mutated}
+}
+
+// candidates enumerates every site of t whose Voronoi cell can intersect
+// the convex region (the Lemma 1 bound in range-query form, see the
+// package comment) and hands each to visit together with its exact cell.
+// The cell polygon aliases e.probe and is only valid inside visit.
+func (e *engine) candidates(t *rtree.Tree, region geom.Polygon, visit func(s voronoi.Site, cell geom.Polygon)) {
+	if region.IsEmpty() || t.Root() == storage.InvalidPage {
+		return
+	}
+	b := region.Bounds()
+	anchor := t.KNN(b.Center(), 1, nil)
+	if len(anchor) == 0 {
+		return
+	}
+	r := math.Sqrt(geom.MaxDist2(region.V, anchor[0].Pt))
+	// Widen by a relative epsilon: the bound is exact in real arithmetic,
+	// and the slack keeps borderline sites (duplicates of the anchor on
+	// the region boundary, degenerate slivers) inside the search box.
+	r += r*1e-9 + 1e-9
+	search := geom.NewRect(b.MinX-r, b.MinY-r, b.MaxX+r, b.MaxY+r)
+	for _, ent := range t.RangeSearch(search) {
+		s := voronoi.Site{ID: ent.ID, Pt: ent.Pt}
+		visit(s, e.probe.BFVor(t, s, e.domain))
+	}
+}
+
+// sitesTouching emits every site of t whose cell overlaps region with
+// positive area — the affected-site screen.
+func (e *engine) sitesTouching(t *rtree.Tree, region geom.Polygon, emit func(voronoi.Site)) {
+	e.candidates(t, region, func(s voronoi.Site, cell geom.Polygon) {
+		if cell.IsEmpty() {
+			return
+		}
+		if e.cl.Intersect(region, cell).Area() > 0 {
+			emit(s)
+		}
+	})
+}
+
+// joinPartners collects into dst the IDs of every site of other whose
+// cell joins region under the exact CIJ predicate. regionLeft fixes the
+// operand order of the predicate so the verdict is evaluated exactly as a
+// full join would evaluate it.
+func (e *engine) joinPartners(other *rtree.Tree, region geom.Polygon, regionLeft bool, dst map[int64]bool) {
+	e.candidates(other, region, func(s voronoi.Site, cell geom.Polygon) {
+		e.probes++
+		var joins bool
+		if regionLeft {
+			joins = core.CellsJoinWith(&e.cl, region, cell)
+		} else {
+			joins = core.CellsJoinWith(&e.cl, cell, region)
+		}
+		if joins {
+			dst[s.ID] = true
+		}
+	})
+}

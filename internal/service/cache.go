@@ -3,7 +3,6 @@ package service
 import (
 	"container/list"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
@@ -19,9 +18,12 @@ import (
 // reports zero page accesses) and the cached Stats must describe the run
 // that produced them. TopK is deliberately absent — the cache stores the
 // full pair list and responses slice a prefix — so one entry serves every
-// TopK of the same join.
+// TopK of the same join. Names are %q-quoted so no name can forge the
+// field separators, and the ingest-time nameRe gate keeps them printable;
+// invalidation never parses keys anyway (slots carry the names as
+// fields), so the quoting is belt on top of structural braces.
 func cacheKey(left, right *Dataset, algo string, workers int, storage string) string {
-	return fmt.Sprintf("%s@%d|%s@%d|%s|w%d|s%s", left.Name, left.Version, right.Name, right.Version, algo, workers, storage)
+	return fmt.Sprintf("%q@%d|%q@%d|%s|w%d|s%s", left.Name, left.Version, right.Name, right.Version, algo, workers, storage)
 }
 
 // cachedResult is one memoized join: the full pair list and the cost of
@@ -64,9 +66,16 @@ type resultCache struct {
 	missesC *obs.Counter
 }
 
+// cacheSlot carries the operand names as structured fields next to the
+// flat key. Invalidation matches on the fields, never by substring
+// against the key — the old textual scan (`strings.Contains(key,
+// "|"+name+"@")`) was only sound as long as every byte of every name
+// was separator-free, a property enforced far away at ingest; matching
+// fields removes the coupling entirely.
 type cacheSlot struct {
-	key string
-	res *cachedResult
+	key         string
+	left, right string
+	res         *cachedResult
 }
 
 // newResultCache creates a cache holding at most capEntries results;
@@ -109,7 +118,9 @@ func (c *resultCache) setCounters(hits, misses *obs.Counter) {
 }
 
 // put stores res under key, evicting from the LRU tail on overflow.
-func (c *resultCache) put(key string, res *cachedResult) {
+// left/right are the operand dataset names, kept for field-exact
+// invalidation.
+func (c *resultCache) put(key, left, right string, res *cachedResult) {
 	if c.cap <= 0 {
 		return
 	}
@@ -120,7 +131,7 @@ func (c *resultCache) put(key string, res *cachedResult) {
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.lru.PushFront(&cacheSlot{key: key, res: res})
+	c.byKey[key] = c.lru.PushFront(&cacheSlot{key: key, left: left, right: right, res: res})
 	for c.lru.Len() > c.cap {
 		back := c.lru.Back()
 		c.lru.Remove(back)
@@ -130,20 +141,22 @@ func (c *resultCache) put(key string, res *cachedResult) {
 }
 
 // invalidateDataset removes every entry involving the named dataset (any
-// version). Correctness does not need this — version-qualified keys are
-// already unreachable after a re-ingest — but the pair lists can be large
-// and there is no reason to keep feeding dead entries through LRU
-// eviction.
+// version), comparing the slot's operand-name fields exactly — a dataset
+// whose name happens to be a substring or prefix of another's can no
+// longer sweep its neighbor's entries, and no name can dodge its own
+// sweep. Correctness does not need the sweep at all — version-qualified
+// keys are already unreachable after a re-ingest or mutation — but the
+// pair lists can be large and there is no reason to keep feeding dead
+// entries through LRU eviction.
 func (c *resultCache) invalidateDataset(name string) {
-	left, right := name+"@", "|"+name+"@"
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for el := c.lru.Front(); el != nil; {
 		next := el.Next()
-		key := el.Value.(*cacheSlot).key
-		if strings.HasPrefix(key, left) || strings.Contains(key, right) {
+		slot := el.Value.(*cacheSlot)
+		if slot.left == name || slot.right == name {
 			c.lru.Remove(el)
-			delete(c.byKey, key)
+			delete(c.byKey, slot.key)
 		}
 		el = next
 	}

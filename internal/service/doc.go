@@ -20,6 +20,22 @@
 //     rtree.Tree.WithBuffer), which keeps concurrent joins lock-free on
 //     the hot path, exactly as the parallel engine's workers do.
 //
+//   - Live mutation path (registry.go Mutate, mutate.go, subscribe.go):
+//     point-level inserts, moves and deletes applied as one atomic batch
+//     producing one new dataset version. The old version's pages stay
+//     readable through a copy-on-write disk snapshot (storage.Disk.Clone
+//     with rtree.Tree.CloneMut), so in-flight joins keep the exact
+//     version they resolved — snapshot isolation, no locks on the join path;
+//     a service-level mutex serializes mutators only. Deleted points
+//     tombstone (IDs never renumber, so pair identities stay stable
+//     across versions); the point-array algorithms (grid/PM/FM) compact
+//     live points per query and remap their pairs back to original IDs.
+//     Each mutation of a subscribed dataset triggers a delta run
+//     (internal/delta): the paper's Lemma 1/2 influence bound localizes
+//     which Voronoi cells a change can affect, so the engine computes
+//     exactly which pairs appear/disappear without recomputing the join,
+//     and /join/subscribe streams that churn as NDJSON events.
+//
 //   - Planner/dispatcher (planner.go): maps a Query {left, right, algo,
 //     workers, topk} onto an execution plan. An explicit algo ("nm", "pm",
 //     "fm", "parallel", "grid") is honored; "auto" (or empty) routes on
@@ -50,12 +66,21 @@
 //
 //	POST /datasets/{name}   ingest CSV body or ?gen= generator spec
 //	GET  /datasets          list name/version/cardinality/pages
+//	POST /datasets/{name}/points        mutate: one atomic batch of
+//	                        {insert, update, delete} -> new version,
+//	                        MutationResponse with per-subscription deltas
+//	DELETE /datasets/{name}/points/{id} single-point delete shorthand
 //	POST /join              buffered JSON join (JoinRequest -> JoinResponse)
 //	GET  /join/stream       progressive NDJSON: pair lines as the join
 //	                        produces them (Fig. 9b's non-blocking property,
 //	                        preserved through parallel.Options.OnPair),
 //	                        progress lines from the parallel engine's
 //	                        OnProgress hook, then one summary line
+//	GET  /join/subscribe    long-lived NDJSON churn stream for one join:
+//	                        a "subscribed" line with base versions, then
+//	                        per-mutation "+pair"/"-pair" events and one
+//	                        "delta" summary; a lagging client gets a
+//	                        terminal "lagged" line and must resubscribe
 //	GET  /stats             counters: datasets, joins, cache, page accesses
 //	GET  /stats/history     windowed rates/quantiles from the self-scraped
 //	                        metrics ring (?window=30s)

@@ -223,15 +223,125 @@ type StreamSummary struct {
 	JoinResponse
 }
 
+// Stream line types of GET /join/subscribe (NDJSON): one subscribed
+// handshake line, then per mutation of either operand a burst of churn
+// lines (+pair/-pair) closed by one delta summary line. A lagged line
+// replaces further events when the client fell too far behind.
+
+// StreamSubscribed is the handshake line: the subscription's operands
+// and the versions the client should base-line with a full join. Every
+// later churn event names the versions it transitions TO, so the client
+// reconciles by ignoring events at or below the base versions.
+type StreamSubscribed struct {
+	Type         string `json:"type"` // "subscribed"
+	Left         string `json:"left"`
+	Right        string `json:"right"`
+	LeftVersion  int    `json:"left_version"`
+	RightVersion int    `json:"right_version"`
+}
+
+// StreamChurn is one pair appearing (+pair) or disappearing (-pair)
+// from the subscribed join as of the named versions.
+type StreamChurn struct {
+	Type         string `json:"type"` // "+pair" | "-pair"
+	P            int64  `json:"p"`
+	Q            int64  `json:"q"`
+	QueryID      int64  `json:"query_id"`
+	LeftVersion  int    `json:"left_version"`
+	RightVersion int    `json:"right_version"`
+}
+
+// DeltaSummaryJSON describes one incremental maintenance run: which
+// subscription pair, which side mutated, the churn cardinalities, the
+// engine's work metric, and the run's cost in the same Stats vocabulary
+// as a full join (so /metrics and the journal reconcile with it).
+type DeltaSummaryJSON struct {
+	QueryID      int64  `json:"query_id"`
+	Left         string `json:"left"`
+	LeftVersion  int    `json:"left_version"`
+	Right        string `json:"right"`
+	RightVersion int    `json:"right_version"`
+	// Mutated names which operand changed: "left" or "right".
+	Mutated string `json:"mutated"`
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	// AffectedSites counts mutated-side Voronoi cells recomputed; Probes
+	// counts exact join-predicate evaluations — the work that replaced a
+	// full |P|·|Q| recompute.
+	AffectedSites int           `json:"affected_sites"`
+	Probes        int           `json:"probes"`
+	Stats         JoinStatsJSON `json:"stats"`
+}
+
+// StreamDelta is the terminal line of one mutation's event burst.
+type StreamDelta struct {
+	Type string `json:"type"` // "delta"
+	DeltaSummaryJSON
+}
+
+// StreamLagged is the terminal line of an overrun subscription: the
+// server dropped events rather than block the mutation path, so the
+// client must resubscribe and re-baseline.
+type StreamLagged struct {
+	Type  string `json:"type"` // "lagged"
+	Error string `json:"error"`
+}
+
+// MutationRequest is the body of POST /datasets/{name}/points: point
+// inserts ("points" is shorthand for "insert"), moves and deletes,
+// applied as one atomic batch producing one new dataset version.
+type MutationRequest struct {
+	Points []PointJSON     `json:"points,omitempty"`
+	Insert []PointJSON     `json:"insert,omitempty"`
+	Update []MovePointJSON `json:"update,omitempty"`
+	Delete []int64         `json:"delete,omitempty"`
+}
+
+// PointJSON is one point position on the wire.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// MovePointJSON relocates one live point.
+type MovePointJSON struct {
+	ID int64   `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// MutationResponse reports one applied mutation batch: the new version,
+// the IDs assigned to inserts, and one delta summary per subscription
+// pair the batch maintained (empty when nobody subscribes to the
+// dataset).
+type MutationResponse struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// Points is the live cardinality after the batch.
+	Points      int     `json:"points"`
+	InsertedIDs []int64 `json:"inserted_ids,omitempty"`
+	Updated     int     `json:"updated,omitempty"`
+	Deleted     int     `json:"deleted,omitempty"`
+	Pages       int     `json:"pages"`
+	Skew        float64 `json:"skew"`
+	// Deltas summarizes the incremental join maintenance this mutation
+	// triggered, in subscription order.
+	Deltas []DeltaSummaryJSON `json:"deltas,omitempty"`
+}
+
 // DatasetInfo describes one registry entry in /datasets and /stats. Skew
 // is the ingest-time density statistic the auto planner routes on, so a
 // client can predict (and debug) algorithm selection.
 type DatasetInfo struct {
-	Name    string  `json:"name"`
-	Version int     `json:"version"`
-	Points  int     `json:"points"`
-	Pages   int     `json:"pages"`
-	Skew    float64 `json:"skew"`
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// Points is the LIVE cardinality — what joins operate on.
+	Points int `json:"points"`
+	// Tombstones counts deleted-point slots still occupying ID space
+	// (mutable datasets never renumber); 0 for never-deleted datasets.
+	Tombstones int     `json:"tombstones,omitempty"`
+	Pages      int     `json:"pages"`
+	Skew       float64 `json:"skew"`
 	// Storage lists the node representations this dataset can serve
 	// (every ingest builds both the paged tree and its flat copy).
 	Storage []string `json:"storage"`
@@ -243,7 +353,15 @@ func datasetInfo(d *Dataset) DatasetInfo {
 	if d.FlatTree != nil {
 		storage = append(storage, "flat")
 	}
-	return DatasetInfo{Name: d.Name, Version: d.Version, Points: len(d.Points), Pages: d.Pages, Skew: d.Skew, Storage: storage}
+	return DatasetInfo{
+		Name:       d.Name,
+		Version:    d.Version,
+		Points:     d.Live,
+		Tombstones: len(d.Points) - d.Live,
+		Pages:      d.Pages,
+		Skew:       d.Skew,
+		Storage:    storage,
+	}
 }
 
 // StatsResponse is the body of GET /stats.
@@ -260,13 +378,23 @@ type StatsResponse struct {
 	PageAccesses int64 `json:"page_accesses"`
 	// DecodeHits sums the decoded-node cache hits of computed joins: node
 	// accesses that skipped page re-parsing (CPU saved, I/O untouched).
-	DecodeHits    int64 `json:"decode_hits"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	CacheEntries  int   `json:"cache_entries"`
-	CacheEvicted  int64 `json:"cache_evicted"`
-	InFlight      int   `json:"in_flight"`
-	MaxConcurrent int   `json:"max_concurrent"`
+	DecodeHits   int64 `json:"decode_hits"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheEvicted int64 `json:"cache_evicted"`
+	// Mutations counts accepted point-mutation batches; DeltaRuns the
+	// incremental maintenance computations they triggered (one per live
+	// subscription pair); PairsChurned the +pair/-pair events those runs
+	// emitted. The three reconcile with cij_mutations_total,
+	// cij_delta_runs_total and cij_pair_churn_total on /metrics.
+	Mutations    int64 `json:"mutations"`
+	DeltaRuns    int64 `json:"delta_runs"`
+	PairsChurned int64 `json:"pairs_churned"`
+	// Subscribers is the current number of open /join/subscribe streams.
+	Subscribers   int `json:"subscribers"`
+	InFlight      int `json:"in_flight"`
+	MaxConcurrent int `json:"max_concurrent"`
 }
 
 // StatsSnapshot assembles the current counters.
@@ -291,6 +419,10 @@ func (s *Service) StatsSnapshot() StatsResponse {
 		CacheMisses:   misses,
 		CacheEntries:  entries,
 		CacheEvicted:  evicted,
+		Mutations:     s.mutations.Load(),
+		DeltaRuns:     s.deltaRuns.Load(),
+		PairsChurned:  s.pairsChurned.Load(),
+		Subscribers:   s.hub.count(),
 		InFlight:      s.InFlight(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
 	}

@@ -1,7 +1,9 @@
 package service
 
 import (
+	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -38,6 +40,13 @@ type serviceMetrics struct {
 
 	cacheHits   *obs.Counter // cij_cache_hits_total (monotone, cache-fed)
 	cacheMisses *obs.Counter // cij_cache_misses_total
+
+	panics       *obs.Counter    // cij_panics_total
+	mutations    *obs.CounterVec // cij_mutations_total{op}
+	deltaRuns    *obs.Counter    // cij_delta_runs_total
+	deltaLatency *obs.Histogram  // cij_delta_seconds
+	churnEvents  *obs.CounterVec // cij_pair_churn_total{kind}
+	subLagged    *obs.Counter    // cij_subscribers_lagged_total
 }
 
 // newServiceMetrics registers the service's metric families on a fresh
@@ -78,6 +87,18 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 			"Time joins spent queued for an admission slot.", nil),
 		admissionWaiting: reg.Gauge("cij_admission_waiting",
 			"Joins currently queued for an admission slot."),
+		panics: reg.Counter("cij_panics_total",
+			"Handler panics recovered by the HTTP middleware (each also answers 500)."),
+		mutations: reg.CounterVec("cij_mutations_total",
+			"Point-level dataset changes applied, by operation.", "op"),
+		deltaRuns: reg.Counter("cij_delta_runs_total",
+			"Incremental join maintenance runs (one per live subscription pair per mutation)."),
+		deltaLatency: reg.Histogram("cij_delta_seconds",
+			"Incremental maintenance latency per delta run.", nil),
+		churnEvents: reg.CounterVec("cij_pair_churn_total",
+			"Join pairs appearing (add) and disappearing (remove) across delta runs.", "kind"),
+		subLagged: reg.Counter("cij_subscribers_lagged_total",
+			"Subscriptions dropped because the client fell behind the event stream."),
 	}
 
 	// Hits and misses are real monotone counters (not func-backed views):
@@ -111,6 +132,8 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 		"Datasets currently registered.", func() float64 { return float64(len(s.reg.List())) })
 	reg.GaugeFunc("cij_joins_in_flight",
 		"Joins currently holding an admission slot.", func() float64 { return float64(s.InFlight()) })
+	reg.GaugeFunc("cij_subscribers",
+		"Open /join/subscribe event streams.", func() float64 { return float64(s.hub.count()) })
 	return m
 }
 
@@ -164,14 +187,45 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps one route with request counting, latency observation
-// and structured request logging. Routes are labeled explicitly (not from
-// the request path) so the label space stays bounded.
+// instrument wraps one route with panic recovery, request counting,
+// latency observation and structured request logging. Routes are labeled
+// explicitly (not from the request path) so the label space stays
+// bounded.
+//
+// Recovery runs innermost so a panicking handler still produces a
+// response, a request log line and correctly-labeled metrics instead of
+// tearing down the connection with nothing on the books. If the handler
+// had not committed a status yet the client gets a JSON 500; mid-stream
+// panics can only truncate the (already committed) body, which is the
+// NDJSON failure contract anyway. http.ErrAbortHandler passes through —
+// it is net/http's sanctioned way to abort and suppressing it would turn
+// deliberate aborts into 500s.
 func (s *Service) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r)
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.metrics.panics.Inc()
+				s.logger.Error("handler panic",
+					"route", route,
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()),
+				)
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal error (panic recovered: %v)", rec)
+				}
+			}()
+			h(sw, r)
+		}()
 		elapsed := time.Since(start)
 		if sw.status == 0 {
 			sw.status = http.StatusOK

@@ -91,7 +91,7 @@ func plan(q Query, left, right *Dataset) (Plan, error) {
 		}
 		return pl, nil
 	}
-	total := len(left.Points) + len(right.Points)
+	total := left.Live + right.Live
 	switch q.Algo {
 	case "", "auto":
 		// An explicit worker count — including 1, a client bounding its
@@ -176,6 +176,19 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks, tr *ob
 	start := time.Now()
 	var res core.Result
 	var io storage.Stats
+	// The point-array backends (grid, PM, FM) consume dense slices whose
+	// positions double as IDs, so mutated datasets hand them the live
+	// compaction and the emitted pairs are remapped back to original IDs
+	// — the tree algorithms need neither (registry trees index live
+	// points under their original IDs already). For never-deleted
+	// datasets JoinPoints returns nil id tables and the remap is free.
+	var leftPts, rightPts []geom.Point
+	var leftIDs, rightIDs []int64
+	if pointArrayAlgo(pl.Algo) {
+		leftPts, leftIDs = left.JoinPoints()
+		rightPts, rightIDs = right.JoinPoints()
+		hooks.onPair = remapOnPair(hooks.onPair, pl.Algo, leftIDs, rightIDs)
+	}
 	switch pl.Algo {
 	case "grid":
 		// The in-memory backend joins the raw pointsets: no tree view, no
@@ -183,7 +196,8 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks, tr *ob
 		opts := grid.DefaultOptions()
 		opts.OnPair = hooks.onPair
 		opts.Trace = tr
-		res = grid.Join(left.Points, right.Points, dataset.Domain, opts)
+		res = grid.Join(leftPts, rightPts, dataset.Domain, opts)
+		remapPairs(res.Pairs, leftIDs, rightIDs)
 	case "nm":
 		rp, rq := left.StorageView(pl.Storage), right.StorageView(pl.Storage)
 		rp.Buffer().SetOnEvict(s.metrics.onEvict)
@@ -209,7 +223,7 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks, tr *ob
 		res = parallel.Join(rp, rq, dataset.Domain, opts)
 		io = res.Stats.Mat.Add(res.Stats.Join) // partition traversal + all worker forks
 	case "pm", "fm":
-		rp, rq := buildScratchEnv(left.Points, right.Points, s.cfg.BufferPct)
+		rp, rq := buildScratchEnv(leftPts, rightPts, s.cfg.BufferPct)
 		rp.Buffer().SetOnEvict(s.metrics.onEvict) // one shared scratch buffer
 		opts := core.DefaultOptions()
 		opts.OnPair = hooks.onPair
@@ -220,6 +234,7 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks, tr *ob
 			res = core.FMCIJ(rp, rq, dataset.Domain, opts)
 		}
 		io = res.Stats.Mat.Add(res.Stats.Join) // MAT + JOIN on the shared scratch buffer
+		remapPairs(res.Pairs, leftIDs, rightIDs)
 	default:
 		panic("service: unplanned algo " + pl.Algo)
 	}
@@ -230,6 +245,46 @@ func (s *Service) execute(left, right *Dataset, pl Plan, hooks execHooks, tr *ob
 		CPU:          time.Since(start),
 		Trace:        tr.Spans(),
 		TraceDropped: tr.Dropped(),
+	}
+}
+
+// pointArrayAlgo reports whether the algorithm consumes raw point
+// slices (positions double as IDs) rather than registry trees.
+func pointArrayAlgo(algo string) bool {
+	return algo == "grid" || algo == "pm" || algo == "fm"
+}
+
+// remapOnPair wraps a streaming pair callback so point-array runs over
+// compacted live slices emit original point IDs. Tree runs and dense
+// datasets pass through untouched.
+func remapOnPair(onPair func(core.Pair), algo string, leftIDs, rightIDs []int64) func(core.Pair) {
+	if onPair == nil || !pointArrayAlgo(algo) || (leftIDs == nil && rightIDs == nil) {
+		return onPair
+	}
+	return func(p core.Pair) { onPair(remapPair(p, leftIDs, rightIDs)) }
+}
+
+// remapPair translates one compacted-index pair back to original IDs.
+func remapPair(p core.Pair, leftIDs, rightIDs []int64) core.Pair {
+	if leftIDs != nil {
+		p.P = leftIDs[p.P]
+	}
+	if rightIDs != nil {
+		p.Q = rightIDs[p.Q]
+	}
+	return p
+}
+
+// remapPairs translates a result's pair list in place; a no-op for dense
+// datasets (nil id tables). Pairs stay sorted: the id tables are built
+// in ascending ID order, so the remap is strictly monotone in each
+// coordinate.
+func remapPairs(pairs []core.Pair, leftIDs, rightIDs []int64) {
+	if leftIDs == nil && rightIDs == nil {
+		return
+	}
+	for i := range pairs {
+		pairs[i] = remapPair(pairs[i], leftIDs, rightIDs)
 	}
 }
 
@@ -291,10 +346,10 @@ func explain(q Query, left, right *Dataset) (Explanation, error) {
 	if err != nil {
 		return Explanation{}, err
 	}
-	total := len(left.Points) + len(right.Points)
+	total := left.Live + right.Live
 	inputs := PlanInputs{
-		LeftPoints:      len(left.Points),
-		RightPoints:     len(right.Points),
+		LeftPoints:      left.Live,
+		RightPoints:     right.Live,
 		TotalPoints:     total,
 		LeftSkew:        left.Skew,
 		RightSkew:       right.Skew,

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"regexp"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"cij/internal/dataset"
+	"cij/internal/delta"
 	"cij/internal/geom"
 	"cij/internal/grid"
 	"cij/internal/rtree"
@@ -25,13 +27,24 @@ var nameRe = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,64}$`)
 // Dataset is one registered pointset: the points, the R-tree built over
 // them at ingest time, and the private disk+buffer the tree lives on. A
 // Dataset is immutable after construction — replacing a name installs a
-// new Dataset value — so any number of queries may hold and read one
-// concurrently through forked buffer views.
+// new Dataset value (re-ingest) or a copy-on-write successor (Mutate) —
+// so any number of queries may hold and read one concurrently through
+// forked buffer views, even while the next version is being built.
 type Dataset struct {
 	Name    string
 	Version int
-	Points  []geom.Point
-	Tree    *rtree.Tree
+	// Points maps point IDs (the IDs join pairs carry) to positions. The
+	// slice is append-only across versions: deleting a point tombstones
+	// its slot (Alive) rather than renumbering, so IDs stay stable for
+	// subscribers diffing pair churn across versions.
+	Points []geom.Point
+	// Alive, when non-nil, flags which Points entries are live; nil means
+	// every entry is (a dataset that has never seen a delete).
+	Alive []bool
+	// Live is the number of live points (== len(Points) when Alive is
+	// nil). Planner cardinality gates and wire point counts read it.
+	Live int
+	Tree *rtree.Tree
 	// FlatTree is the arena-resident (flat) copy of Tree, frozen once at
 	// ingest: structurally identical, decode-free to read, zero page I/O.
 	// Plans with Storage "flat" read it through FlatView.
@@ -70,6 +83,34 @@ func (d *Dataset) StorageView(storage string) *rtree.Tree {
 		return d.FlatView()
 	}
 	return d.View()
+}
+
+// JoinPoints returns the live points in ID order and, when the dataset
+// carries tombstones, the original ID of each returned point. ids is nil
+// for never-deleted datasets, whose positions already are their IDs —
+// the common case, which the point-array algorithms (grid, PM, FM) then
+// consume with zero copying or remapping.
+func (d *Dataset) JoinPoints() (pts []geom.Point, ids []int64) {
+	if d.Alive == nil {
+		return d.Points, nil
+	}
+	pts = make([]geom.Point, 0, d.Live)
+	ids = make([]int64, 0, d.Live)
+	for i, p := range d.Points {
+		if d.Alive[i] {
+			pts = append(pts, p)
+			ids = append(ids, int64(i))
+		}
+	}
+	return pts, ids
+}
+
+// alive reports whether id names a live point.
+func (d *Dataset) alive(id int64) bool {
+	if id < 0 || id >= int64(len(d.Points)) {
+		return false
+	}
+	return d.Alive == nil || d.Alive[id]
 }
 
 // Registry is the concurrent name -> Dataset map. Versions are scoped to
@@ -138,6 +179,168 @@ func (r *Registry) List() []*Dataset {
 	return out
 }
 
+// Mutation sentinel errors; the HTTP layer maps them to statuses
+// (404 unknown, 409 immutable/conflict, 400 everything else).
+var (
+	ErrUnknownDataset    = errors.New("unknown dataset")
+	ErrDatasetImmutable  = errors.New("dataset is immutable")
+	ErrMutationConflict  = errors.New("dataset replaced concurrently; retry the mutation")
+	errEmptyMutation     = errors.New("empty mutation batch")
+	errMutationTooLarge  = errors.New("mutation batch too large")
+	errMutationEmptiesIt = errors.New("mutation would leave the dataset empty")
+)
+
+// maxMutationBatch bounds one atomic mutation; larger edits should
+// re-ingest, which rebuilds by bulk load instead of per-point updates.
+const maxMutationBatch = 10000
+
+// PointMove relocates one live point to a new position.
+type PointMove struct {
+	ID int64
+	Pt geom.Point
+}
+
+// MutationSpec is one atomic batch of point-level changes: inserts (IDs
+// assigned densely past the current high-water mark), moves and deletes.
+// Each existing ID may appear at most once per batch.
+type MutationSpec struct {
+	Insert []geom.Point
+	Update []PointMove
+	Delete []int64
+}
+
+func (m MutationSpec) size() int { return len(m.Insert) + len(m.Update) + len(m.Delete) }
+
+// Mutate applies spec to the named dataset and installs the result as
+// its next version. The heavy work — cloning the disk copy-on-write,
+// replaying the batch through dynamic insert/delete, re-freezing the
+// flat copy — happens outside the registry lock, against a snapshot no
+// reader shares; only the final install is serialized, and it fails with
+// ErrMutationConflict if another writer replaced the dataset meanwhile
+// (the server layer serializes mutations, so that arm guards re-ingest
+// races, not mutate/mutate ones).
+//
+// On success it returns the displaced version, the installed version,
+// and the batch in delta.Change form — exactly what the incremental
+// join maintenance engine consumes.
+func (r *Registry) Mutate(name string, spec MutationSpec) (old, cur *Dataset, changes []delta.Change, err error) {
+	d, ok := r.Get(name)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("service: %w %q", ErrUnknownDataset, name)
+	}
+	if d.Tree.Flat() {
+		return nil, nil, nil, fmt.Errorf("service: %w: %q is served from flat storage; re-ingest to mutate", ErrDatasetImmutable, name)
+	}
+	if spec.size() == 0 {
+		return nil, nil, nil, fmt.Errorf("service: %w for %q", errEmptyMutation, name)
+	}
+	if spec.size() > maxMutationBatch {
+		return nil, nil, nil, fmt.Errorf("service: %w: %d changes (max %d); re-ingest instead", errMutationTooLarge, spec.size(), maxMutationBatch)
+	}
+	touched := make(map[int64]bool, len(spec.Update)+len(spec.Delete))
+	for _, id := range spec.Delete {
+		if !d.alive(id) {
+			return nil, nil, nil, fmt.Errorf("service: delete of unknown point %d in %q", id, name)
+		}
+		if touched[id] {
+			return nil, nil, nil, fmt.Errorf("service: point %d named twice in one batch for %q", id, name)
+		}
+		touched[id] = true
+	}
+	for _, mv := range spec.Update {
+		if !d.alive(mv.ID) {
+			return nil, nil, nil, fmt.Errorf("service: update of unknown point %d in %q", mv.ID, name)
+		}
+		if touched[mv.ID] {
+			return nil, nil, nil, fmt.Errorf("service: point %d named twice in one batch for %q", mv.ID, name)
+		}
+		touched[mv.ID] = true
+		if !dataset.Domain.Contains(mv.Pt) {
+			return nil, nil, nil, fmt.Errorf("service: update of point %d in %q to (%v, %v) outside the domain", mv.ID, name, mv.Pt.X, mv.Pt.Y)
+		}
+	}
+	for _, p := range spec.Insert {
+		if !dataset.Domain.Contains(p) {
+			return nil, nil, nil, fmt.Errorf("service: insert at (%v, %v) outside the domain of %q", p.X, p.Y, name)
+		}
+	}
+	if d.Live+len(spec.Insert)-len(spec.Delete) < 1 {
+		return nil, nil, nil, fmt.Errorf("service: %w: %q has %d live points, batch deletes %d and inserts %d",
+			errMutationEmptiesIt, name, d.Live, len(spec.Delete), len(spec.Insert))
+	}
+
+	// Build version N+1 beside the serving version: COW-clone the disk,
+	// fork a mutable tree over the clone, replay the batch. Deletes and
+	// updates keep their original IDs; inserts extend the ID space.
+	mbuf := storage.NewBuffer(d.Tree.Buffer().Disk().Clone(), 1<<30)
+	mt := d.Tree.CloneMut(mbuf)
+	pts := append([]geom.Point(nil), d.Points...)
+	var alive []bool
+	if d.Alive != nil {
+		alive = append([]bool(nil), d.Alive...)
+	} else if len(spec.Delete) > 0 {
+		alive = make([]bool, len(pts))
+		for i := range alive {
+			alive[i] = true
+		}
+	}
+	changes = make([]delta.Change, 0, spec.size())
+	for _, id := range spec.Delete {
+		mt.DeletePoint(id, pts[id])
+		alive[id] = false
+		changes = append(changes, delta.Change{Op: delta.OpDelete, ID: id, Old: pts[id]})
+	}
+	for _, mv := range spec.Update {
+		mt.DeletePoint(mv.ID, pts[mv.ID])
+		mt.InsertPoint(mv.ID, mv.Pt)
+		changes = append(changes, delta.Change{Op: delta.OpUpdate, ID: mv.ID, Old: pts[mv.ID], New: mv.Pt})
+		pts[mv.ID] = mv.Pt
+	}
+	for _, p := range spec.Insert {
+		id := int64(len(pts))
+		pts = append(pts, p)
+		if alive != nil {
+			alive = append(alive, true)
+		}
+		mt.InsertPoint(id, p)
+		changes = append(changes, delta.Change{Op: delta.OpInsert, ID: id, New: p})
+	}
+
+	// Re-derive the serving-shape parameters for the new page population,
+	// then start its buffer cold, exactly like an ingest-time build.
+	pages := mt.NumPages()
+	capPages := int(math.Ceil(float64(pages) * r.bufferPct / 100))
+	if capPages < 1 {
+		capPages = 1
+	}
+	mbuf.SetCapacity(capPages)
+	mbuf.DropAll()
+	mbuf.ResetStats()
+	cur = &Dataset{
+		Name:        name,
+		Points:      pts,
+		Alive:       alive,
+		Live:        d.Live + len(spec.Insert) - len(spec.Delete),
+		Tree:        mt,
+		FlatTree:    mt.Freeze(),
+		Pages:       pages,
+		BufferPages: capPages,
+	}
+	livePts, _ := cur.JoinPoints()
+	cur.Skew = grid.SkewEstimate(livePts, dataset.Domain)
+
+	r.mu.Lock()
+	if r.byName[name] != d {
+		r.mu.Unlock()
+		return nil, nil, nil, fmt.Errorf("service: %w (%q)", ErrMutationConflict, name)
+	}
+	r.versions[name]++
+	cur.Version = r.versions[name]
+	r.byName[name] = cur
+	r.mu.Unlock()
+	return d, cur, changes, nil
+}
+
 // buildDataset bulk-loads pts into an R-tree on a fresh private disk and
 // records the page-derived buffer capacity queries will fork with.
 func buildDataset(name string, pts []geom.Point, bufferPct float64) *Dataset {
@@ -145,6 +348,7 @@ func buildDataset(name string, pts []geom.Point, bufferPct float64) *Dataset {
 	return &Dataset{
 		Name:        name,
 		Points:      pts,
+		Live:        len(pts),
 		Tree:        tree,
 		FlatTree:    tree.Freeze(),
 		Pages:       tree.NumPages(),

@@ -33,8 +33,11 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /datasets/{name}", s.instrument("ingest", s.handleIngest))
 	mux.HandleFunc("GET /datasets", s.instrument("datasets", s.handleDatasets))
+	mux.HandleFunc("POST /datasets/{name}/points", s.instrument("mutate", s.handleMutatePoints))
+	mux.HandleFunc("DELETE /datasets/{name}/points/{id}", s.instrument("mutate_delete", s.handleDeletePoint))
 	mux.HandleFunc("POST /join", s.instrument("join", s.handleJoin))
 	mux.HandleFunc("GET /join/stream", s.instrument("join_stream", s.handleJoinStream))
+	mux.HandleFunc("GET /join/subscribe", s.instrument("join_subscribe", s.handleJoinSubscribe))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /stats/history", s.instrument("stats_history", s.handleStatsHistory))
 	mux.HandleFunc("GET /debug/queries", s.instrument("debug_queries", s.handleDebugQueries))

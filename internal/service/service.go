@@ -76,12 +76,24 @@ type Service struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
+	// hub fans pair-churn events out to /join/subscribe connections.
+	hub *subHub
+	// mutMu serializes the whole mutate pipeline — registry version bump,
+	// cache sweep, delta maintenance, event fan-out — so subscribers
+	// observe every version transition exactly once and in order. Joins
+	// do NOT take it; they read whatever version is installed when they
+	// resolve names, and COW snapshots keep that read stable.
+	mutMu sync.Mutex
+
 	joinsServed   atomic.Int64 // all successful joins, cache hits included
 	joinsComputed atomic.Int64 // joins that actually executed an algorithm
 	joinsFlat     atomic.Int64 // computed joins that read flat (arena) storage
 	pageAccesses  atomic.Int64 // physical I/O summed over computed joins
 	decodeHits    atomic.Int64 // decoded-node cache hits summed over computed joins
 	ingests       atomic.Int64
+	mutations     atomic.Int64 // accepted mutation batches
+	deltaRuns     atomic.Int64 // incremental maintenance runs (one per live subscription pair per mutation)
+	pairsChurned  atomic.Int64 // +pair/-pair events emitted by delta runs
 }
 
 // flight is one in-progress join computation; done closes when the leader
@@ -115,6 +127,7 @@ func New(cfg Config) *Service {
 		cache:   newResultCache(cfg.CacheEntries),
 		admit:   make(chan struct{}, cfg.MaxConcurrent),
 		flights: make(map[string]*flight),
+		hub:     newSubHub(),
 		start:   time.Now(),
 		logger:  logger,
 	}
@@ -350,7 +363,7 @@ func (s *Service) compute(ctx context.Context, qid int64, key string, pl Plan, l
 	}
 
 	res := s.execute(left, right, pl, hooks, tr)
-	s.cache.put(key, res)
+	s.cache.put(key, left.Name, right.Name, res)
 	s.joinsServed.Add(1)
 	s.joinsComputed.Add(1)
 	if pl.Storage == "flat" {

@@ -31,9 +31,26 @@ const InvalidPage PageID = -1
 // which is what the parallel join engine relies on: trees are built
 // single-threaded, then workers read them through private Buffer forks
 // (Buffer.Fork) with no locking.
+//
+// Clone extends that contract to mutation: it snapshots the disk
+// copy-on-write, so a writer may keep allocating and writing on the clone
+// while any number of readers keep reading the original. The two disks
+// share page storage until a shared page is written, at which point the
+// writing disk reallocates it privately — the original's page slices are
+// never touched after the clone, which is what makes live-dataset version
+// snapshots safe without any locking on the read side.
 type Disk struct {
 	pageSize int
 	pages    [][]byte
+	// shared flags pages whose backing slice is (potentially) referenced
+	// by another disk in this clone lineage; a write to a shared page must
+	// reallocate before touching bytes. nil means "no page is shared"
+	// (a disk that was never cloned).
+	shared []bool
+	// origin is the disk this one was cloned from (nil for a root disk).
+	// It exists for lineage checks — rtree.CloneMut refuses buffers whose
+	// disk is not a clone of the tree's own — not for data access.
+	origin *Disk
 }
 
 // NewDisk creates an empty disk with the given page size.
@@ -54,8 +71,43 @@ func (d *Disk) NumPages() int { return len(d.pages) }
 // Alloc allocates a new zeroed page and returns its id.
 func (d *Disk) Alloc() PageID {
 	d.pages = append(d.pages, make([]byte, d.pageSize))
+	if d.shared != nil {
+		d.shared = append(d.shared, false)
+	}
 	return PageID(len(d.pages) - 1)
 }
+
+// Clone returns a copy-on-write snapshot of the disk: the clone sees the
+// same page contents, allocates and writes independently, and never
+// perturbs pages the original (or its readers) can see. Both disks mark
+// every currently allocated page shared, so a later write on EITHER side
+// reallocates before mutating — the snapshot holds even if the source
+// keeps being written, though in the intended use (dataset versioning)
+// the source is frozen the moment it is cloned.
+func (d *Disk) Clone() *Disk {
+	n := len(d.pages)
+	c := &Disk{
+		pageSize: d.pageSize,
+		pages:    append(make([][]byte, 0, n), d.pages...),
+		shared:   make([]bool, n),
+		origin:   d,
+	}
+	for i := range c.shared {
+		c.shared[i] = true
+	}
+	// The source's shared bitmap may be shorter than its page table when
+	// pages were allocated after an earlier clone; (re)build it to cover
+	// everything now shared with c.
+	d.shared = make([]bool, n)
+	for i := range d.shared {
+		d.shared[i] = true
+	}
+	return c
+}
+
+// Origin returns the disk this one was cloned from, or nil for a disk
+// created with NewDisk.
+func (d *Disk) Origin() *Disk { return d.origin }
 
 // read returns the raw page contents. Callers must treat the slice as
 // read-only.
@@ -73,6 +125,12 @@ func (d *Disk) write(id PageID, data []byte) {
 	}
 	if len(data) > d.pageSize {
 		panic(fmt.Sprintf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize))
+	}
+	if int(id) < len(d.shared) && d.shared[id] {
+		// The slice is visible through another disk of the clone lineage:
+		// writing in place would corrupt that snapshot. Detach first.
+		d.pages[id] = make([]byte, d.pageSize)
+		d.shared[id] = false
 	}
 	page := d.pages[id]
 	copy(page, data)

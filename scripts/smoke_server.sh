@@ -188,4 +188,98 @@ curl -sf "$base/stats" | grep -q '"build":{"go_version"' || {
   exit 1
 }
 
-echo "server smoke OK: $count pairs, cache hit, stream summary, explain, trace, /metrics, journal and history verified"
+# --- live mutation + subscription ---
+
+# Subscribe to the (a, b) join's churn stream in the background, then
+# mutate dataset a: an insert must surface as +pair events (a new point's
+# Voronoi cell always intersects some opposite cell), deleting the same
+# point must surface as -pair events, and the live count must be restored.
+curl -sN "$base/join/subscribe?left=a&right=b" >"$tmp/churn.ndjson" &
+subpid=$!
+trap 'kill "$subpid" "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+ok=
+for _ in $(seq 1 50); do
+  if grep -q '"type":"subscribed"' "$tmp/churn.ndjson" 2>/dev/null; then ok=1; break; fi
+  sleep 0.1
+done
+[ -n "$ok" ] || { echo "subscribe handshake never arrived"; cat "$tmp/churn.ndjson"; exit 1; }
+
+mut=$(curl -sf -X POST "$base/datasets/a/points" -H 'Content-Type: application/json' \
+  -d '{"insert":[{"x":5000,"y":5000}]}')
+printf '%s' "$mut" | grep -q '"version":2' || {
+  echo "insert did not bump the version: $mut"
+  exit 1
+}
+new_id=$(printf '%s' "$mut" | sed -n 's/.*"inserted_ids":\[\([0-9][0-9]*\)\].*/\1/p')
+if [ -z "$new_id" ]; then
+  echo "insert response carries no inserted_ids: $mut"
+  exit 1
+fi
+ok=
+for _ in $(seq 1 50); do
+  if grep -q '"type":"+pair"' "$tmp/churn.ndjson" 2>/dev/null; then ok=1; break; fi
+  sleep 0.1
+done
+[ -n "$ok" ] || { echo "insert produced no +pair event"; cat "$tmp/churn.ndjson"; exit 1; }
+
+curl -sf -X DELETE "$base/datasets/a/points/$new_id" | grep -q '"version":3' || {
+  echo "delete did not bump the version"
+  exit 1
+}
+ok=
+for _ in $(seq 1 50); do
+  if grep -q '"type":"-pair"' "$tmp/churn.ndjson" 2>/dev/null; then ok=1; break; fi
+  sleep 0.1
+done
+[ -n "$ok" ] || { echo "delete produced no -pair event"; cat "$tmp/churn.ndjson"; exit 1; }
+
+# Every mutation's event burst ends with one delta summary line.
+deltas=$(grep -c '"type":"delta"' "$tmp/churn.ndjson" || true)
+if [ "$deltas" -ne 2 ]; then
+  echo "expected 2 delta summary lines, got $deltas"
+  cat "$tmp/churn.ndjson"
+  exit 1
+fi
+
+# Insert + delete of the same point restores the live count; the
+# tombstone stays on the books.
+curl -sf "$base/datasets" | grep -q '"name":"a","version":3,"points":2000,"tombstones":1' || {
+  echo "dataset a did not return to 2000 live points with 1 tombstone"
+  curl -sf "$base/datasets"
+  exit 1
+}
+
+# The mutation surface is on the books: /stats and /metrics agree.
+stats=$(curl -sf "$base/stats")
+printf '%s' "$stats" | grep -q '"mutations":2' || {
+  echo "/stats does not report 2 mutations: $stats"
+  exit 1
+}
+printf '%s' "$stats" | grep -q '"delta_runs":2' || {
+  echo "/stats does not report 2 delta runs: $stats"
+  exit 1
+}
+metrics=$(curl -sf "$base/metrics")
+for family in cij_mutations_total cij_delta_runs_total cij_pair_churn_total \
+              cij_delta_seconds_bucket cij_panics_total; do
+  printf '%s\n' "$metrics" | grep -q "^$family" || {
+    echo "metrics family $family missing after mutations"
+    exit 1
+  }
+done
+printf '%s\n' "$metrics" | grep -q '^cij_delta_runs_total 2' || {
+  echo "cij_delta_runs_total did not reach 2"
+  exit 1
+}
+
+# A post-mutation full join answers from the new version (version-
+# qualified cache keys make staleness structurally impossible).
+curl -sf -X POST "$base/join" -H 'Content-Type: application/json' \
+  -d '{"left":"a","right":"b","algo":"nm","topk":1}' | grep -q '"left_version":3' || {
+  echo "post-mutation join did not execute against version 3"
+  exit 1
+}
+
+kill "$subpid" 2>/dev/null || true
+
+echo "server smoke OK: $count pairs, cache hit, stream summary, explain, trace, /metrics, journal, history and live mutation churn verified"
