@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-flat bench-parallel bench-grid scal serve smoke-server bench-service metrics-smoke journal-smoke mutate-smoke
+.PHONY: build test race vet check prop bench bench-smoke pages-guard bench-baseline bench-new benchstat bench-json bench-flat bench-parallel bench-grid scal serve smoke-server bench-service metrics-smoke journal-smoke mutate-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-check: build vet race prop metrics-smoke journal-smoke mutate-smoke
+check: build vet race prop metrics-smoke journal-smoke mutate-smoke crash-smoke
 
 # Observability slice under the race detector: the obs metric/trace
 # primitives (concurrent scrape-while-mutate, shared-trace Add) and the
@@ -124,6 +124,17 @@ serve:
 # CI runs this on every push.
 smoke-server:
 	./scripts/smoke_server.sh
+
+# Durability smoke: the in-process crash matrix (every fault point × every
+# crash mode, under the race detector) plus the out-of-process one — start
+# cijserver -data-dir, kill -9 it mid-mutation-stream, fsck, restart, and
+# assert the recovered join matches the in-memory grid oracle and the
+# SIGTERM cycle round-trips the clean-shutdown marker. Part of `make
+# check`; CI runs it on every push.
+crash-smoke:
+	$(GO) test -race -run 'TestCrashMatrix|TestDurable|TestCheckpoint|TestWAL|TestFaultFS|TestPageFile|TestFsck|TestOpen' \
+		./internal/check/... ./internal/service/... ./internal/storage/... ./internal/rtree/...
+	./scripts/crash_smoke.sh
 
 # Query-service load benchmark: sustained req/s at 1/4/16 concurrent join
 # clients, written to BENCH_service.json (also part of bench-json).

@@ -12,9 +12,16 @@
 //	cijserver -addr :8080 -preload "a=uniform:20000,b=clustered:20000"
 //	cijserver -addr :8080 -slow 250ms -log-level debug -debug
 //	cijserver -addr :8080 -journal queries.jsonl -history-interval 5s
+//	cijserver -addr :8080 -data-dir /var/lib/cij
 //
 // Preload specs are name=kind:n pairs (kind uniform or clustered, or a
-// Table I code with no :n), loaded before the listener starts.
+// Table I code with no :n), loaded before the listener starts; names
+// already restored from -data-dir are skipped.
+//
+// With -data-dir the server is durable: every ingest and mutation is
+// snapshotted or write-ahead logged (and fsync'd) before it is
+// acknowledged, and a restart — graceful or kill -9 — recovers the exact
+// last-acknowledged state. See the README's "Durability" section.
 package main
 
 import (
@@ -52,6 +59,9 @@ func main() {
 		journal        = flag.String("journal", "", "append every query observation as a JSON line to this file (the planner-training corpus)")
 		journalEntries = flag.Int("journal-entries", 0, "query-journal ring capacity (0 = default 512, -1 = journal disabled)")
 		historyEvery   = flag.Duration("history-interval", 5*time.Second, "metrics-history sampling interval for /stats/history (0 = off)")
+
+		dataDir       = flag.String("data-dir", "", "durable data directory: datasets and mutations survive restarts (empty = in-memory only)")
+		checkpointWAL = flag.Int64("checkpoint-wal-bytes", 0, "fold the WAL into snapshots once it exceeds this many bytes (0 = default 4 MiB)")
 	)
 	flag.Parse()
 
@@ -70,13 +80,15 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	cfg := service.Config{
-		BufferPct:      *buffer,
-		CacheEntries:   *cache,
-		MaxConcurrent:  *admit,
-		DefaultStorage: *storage,
-		Logger:         logger,
-		SlowQuery:      *slow,
-		JournalEntries: *journalEntries,
+		BufferPct:          *buffer,
+		CacheEntries:       *cache,
+		MaxConcurrent:      *admit,
+		DefaultStorage:     *storage,
+		Logger:             logger,
+		SlowQuery:          *slow,
+		JournalEntries:     *journalEntries,
+		DataDir:            *dataDir,
+		CheckpointWALBytes: *checkpointWAL,
 	}
 	if *journal != "" {
 		if *journalEntries < 0 {
@@ -93,7 +105,11 @@ func main() {
 		logger.Info("query journal sink enabled", "path", *journal)
 	}
 
-	svc := service.New(cfg)
+	svc, err := service.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
+		os.Exit(1)
+	}
 	if err := preloadDatasets(svc, logger, *preload); err != nil {
 		fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
 		os.Exit(2)
@@ -129,12 +145,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cijserver: %v\n", err)
 			os.Exit(1)
 		}
-	case <-sig:
-		logger.Info("cijserver shutting down")
+	case s := <-sig:
+		// Graceful shutdown: stop subscriber streams first (they are
+		// long-lived and would hold Shutdown open), then drain in-flight
+		// joins, then flush the durable tier — final checkpoint and
+		// clean-shutdown marker — so the next boot recovers clean.
+		logger.Info("cijserver shutting down", "signal", s.String())
+		if n := svc.DrainSubscribers(); n > 0 {
+			logger.Info("subscriber streams closed", "count", n)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx)
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Warn("http drain incomplete", "err", err)
+		}
 	}
+	if err := svc.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cijserver: closing durable store: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Info("cijserver stopped")
 }
 
 // parseLevel maps the -log-level flag onto a slog level.
@@ -180,6 +210,12 @@ func preloadDatasets(svc *service.Service, logger *slog.Logger, specs string) er
 		name, genSpec, ok := strings.Cut(part, "=")
 		if !ok {
 			return fmt.Errorf("-preload entry %d: want name=kind:n, got %q", i, part)
+		}
+		if d, ok := svc.Registry().Get(name); ok {
+			// Restored from the data directory; re-ingesting would burn a
+			// version (and a snapshot write) on every restart.
+			logger.Info("preload skipped, dataset restored", "name", name, "version", d.Version, "points", d.Live)
+			continue
 		}
 		kind, nStr, hasN := strings.Cut(genSpec, ":")
 		spec := dataset.Spec{Kind: kind, Seed: int64(9000 + i)}

@@ -7,6 +7,7 @@
 //	cijtool join  -p restaurants.csv -q cinemas.csv [-algo nm|pm|fm|grid] [-pairs] [-json]
 //	cijtool delta -p left.csv -q right.csv -insert "x,y;..." -delete "0,5" -update "3:x,y" [-verify]
 //	cijtool vor   -p pts.csv -site 17
+//	cijtool fsck  -data-dir /var/lib/cij
 //
 // Input CSVs are "x,y" lines; coordinates are normalized to the library's
 // [0,10000]² domain before indexing.
@@ -48,6 +49,8 @@ func main() {
 		err = runDelta(os.Args[2:])
 	case "vor":
 		err = runVor(os.Args[2:])
+	case "fsck":
+		err = runFsck(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,7 +69,8 @@ func usage() {
   cijtool gen   -kind uniform|clustered|PP|SC|CE|LO|PA -n 1000 -seed 1 [-clusters 20] -o out.csv
   cijtool join  -p left.csv -q right.csv [-algo nm|pm|fm|grid] [-pairs] [-json] [-trace-out t.json] [-buffer 2]
   cijtool delta -p left.csv -q right.csv [-insert "x,y;..."] [-delete "0,5"] [-update "3:x,y;..."] [-verify] [-json]
-  cijtool vor   -p pts.csv -site 0`)
+  cijtool vor   -p pts.csv -site 0
+  cijtool fsck  -data-dir /var/lib/cij [-json]`)
 }
 
 func runGen(args []string) error {

@@ -142,4 +142,36 @@
 // observed gap is visible per plan before any learning exists.
 // Config.JournalEntries < 0 disables the subsystem entirely (a nil
 // *Journal no-ops), restoring the untraced hot path.
+//
+// # Durability
+//
+// Open with Config.DataDir attaches the durable tier (persist.go): the
+// in-memory registry stays the working representation, and durability is
+// a redo log beside it. The directory holds a MANIFEST.json (the atomic
+// root: dataset -> snapshot-file/version map plus the clean-shutdown
+// marker), one checksummed page file per dataset version (the exact
+// bytes of its simulated disk, so restore reproduces pages/op
+// identically), and a write-ahead log of mutation batches.
+//
+// The ordering invariants, all serialized under the mutation mutex:
+//
+//   - Ingest: snapshot file and manifest are written (and fsync'd)
+//     BEFORE the registry install. A crash in between leaves an
+//     unacknowledged-but-complete dataset — never a partial one.
+//   - Mutation: the batch's WAL record is appended and fsync'd BEFORE
+//     the prepared version installs (PrepareMutation/Install split in
+//     registry.go), so an acknowledged batch always replays whole.
+//   - Checkpoint: once the WAL exceeds Config.CheckpointWALBytes,
+//     changed datasets are re-snapshotted, the manifest rewritten, and
+//     only then the WAL trimmed. Replay is idempotent by version
+//     arithmetic — a record whose Result version is already on disk is
+//     skipped as stale — so a crash between manifest and trim is safe.
+//
+// Recovery (Open) replays manifest -> snapshots -> WAL tail to the exact
+// last-installed state, reports itself via RecoveryInfo and the
+// cij_recovery_* /metrics families, and Close writes the final
+// checkpoint plus the clean-shutdown marker. Fsck (fsck.go) is the same
+// pipeline read-only, surfaced as `cijtool fsck`; the crash matrix in
+// internal/check proves every fault point recovers to an
+// exactly-installed version.
 package service

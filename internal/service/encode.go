@@ -287,6 +287,14 @@ type StreamLagged struct {
 	Error string `json:"error"`
 }
 
+// StreamClosed is the terminal line of a subscription ended by server
+// shutdown: the stream is complete (nothing was dropped) and the client
+// should resubscribe once the server is back.
+type StreamClosed struct {
+	Type   string `json:"type"` // "closed"
+	Reason string `json:"reason"`
+}
+
 // MutationRequest is the body of POST /datasets/{name}/points: point
 // inserts ("points" is shorthand for "insert"), moves and deletes,
 // applied as one atomic batch producing one new dataset version.

@@ -47,6 +47,14 @@ type serviceMetrics struct {
 	deltaLatency *obs.Histogram  // cij_delta_seconds
 	churnEvents  *obs.CounterVec // cij_pair_churn_total{kind}
 	subLagged    *obs.Counter    // cij_subscribers_lagged_total
+
+	walAppends       *obs.Counter   // cij_wal_appends_total
+	walFsync         *obs.Histogram // cij_wal_fsync_seconds
+	walCorrupt       *obs.Counter   // cij_wal_corrupt_records_total
+	checkpoints      *obs.Counter   // cij_checkpoints_total
+	recoveryClean    *obs.Gauge     // cij_recovery_clean_shutdown
+	recoveryReplayed *obs.Counter   // cij_recovery_records_replayed_total
+	recoveryStale    *obs.Counter   // cij_recovery_records_stale_total
 }
 
 // newServiceMetrics registers the service's metric families on a fresh
@@ -99,6 +107,20 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 			"Join pairs appearing (add) and disappearing (remove) across delta runs.", "kind"),
 		subLagged: reg.Counter("cij_subscribers_lagged_total",
 			"Subscriptions dropped because the client fell behind the event stream."),
+		walAppends: reg.Counter("cij_wal_appends_total",
+			"Mutation batches appended (and fsync'd) to the write-ahead log."),
+		walFsync: reg.Histogram("cij_wal_fsync_seconds",
+			"WAL fsync latency per committed mutation batch.", nil),
+		walCorrupt: reg.Counter("cij_wal_corrupt_records_total",
+			"WAL records dropped at recovery for checksum or framing corruption."),
+		checkpoints: reg.Counter("cij_checkpoints_total",
+			"Checkpoints that folded the WAL into dataset snapshots."),
+		recoveryClean: reg.Gauge("cij_recovery_clean_shutdown",
+			"Whether the previous shutdown was clean (1) or recovery replayed a crash (0); unset without a data dir."),
+		recoveryReplayed: reg.Counter("cij_recovery_records_replayed_total",
+			"WAL records applied during cold-start recovery."),
+		recoveryStale: reg.Counter("cij_recovery_records_stale_total",
+			"WAL records skipped as stale during cold-start recovery (already folded into a snapshot)."),
 	}
 
 	// Hits and misses are real monotone counters (not func-backed views):
@@ -134,6 +156,13 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 		"Joins currently holding an admission slot.", func() float64 { return float64(s.InFlight()) })
 	reg.GaugeFunc("cij_subscribers",
 		"Open /join/subscribe event streams.", func() float64 { return float64(s.hub.count()) })
+	reg.GaugeFunc("cij_wal_bytes",
+		"Byte length of the write-ahead log (0 without a data dir).", func() float64 {
+			if st := s.store.Load(); st != nil {
+				return float64(st.wal.Size())
+			}
+			return 0
+		})
 	return m
 }
 

@@ -3,9 +3,11 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
+	"cij/internal/delta"
 	"cij/internal/geom"
 )
 
@@ -41,7 +43,7 @@ func (s *Service) MutatePoints(name string, req MutationRequest) (*MutationRespo
 
 	s.mutMu.Lock()
 	defer s.mutMu.Unlock()
-	old, cur, changes, err := s.reg.Mutate(name, spec)
+	old, cur, changes, err := s.applyMutation(name, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +91,39 @@ func (s *Service) MutatePoints(name string, req MutationRequest) (*MutationRespo
 	return resp, nil
 }
 
+// applyMutation runs one batch through the registry — and, when the
+// service is durable, through the write-ahead log between the prepare and
+// install halves: the record is appended and fsync'd BEFORE the new
+// version becomes visible, so a crash at any instant leaves either no
+// trace of the batch or a record that replays it whole. Callers hold
+// mutMu, which is what pins PreparedMutation.Result to the version the
+// install actually assigns.
+func (s *Service) applyMutation(name string, spec MutationSpec) (old, cur *Dataset, changes []delta.Change, err error) {
+	st := s.store.Load()
+	if st == nil {
+		return s.reg.Mutate(name, spec)
+	}
+	p, err := s.reg.PrepareMutation(name, spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := st.logMutation(p); err != nil {
+		return nil, nil, nil, fmt.Errorf("persisting mutation of %q: %w", name, err)
+	}
+	old, cur, changes, err = s.reg.Install(p)
+	if err != nil {
+		// Unreachable while every writer holds mutMu; if it ever fires,
+		// checkpoint to trim the just-logged record so its version slot
+		// cannot collide with a future batch's on replay.
+		if cerr := st.checkpoint(s.reg); cerr != nil {
+			s.logger.Warn("checkpoint after failed install", "err", cerr)
+		}
+		return nil, nil, nil, err
+	}
+	st.maybeCheckpoint(s.reg)
+	return old, cur, changes, nil
+}
+
 // mutationErrorStatus maps registry mutation errors onto HTTP statuses:
 // a missing dataset is 404, immutability and install races are 409
 // (retryable conflicts, not malformed requests), anything else — bad
@@ -111,7 +146,7 @@ func mutationErrorStatus(err error) int {
 func (s *Service) handleMutatePoints(w http.ResponseWriter, r *http.Request) {
 	var req MutationRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMutationBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad mutation request: %v", err)
+		writeError(w, bodyErrorStatus(err), "bad mutation request: %v", err)
 		return
 	}
 	resp, err := s.MutatePoints(r.PathValue("name"), req)

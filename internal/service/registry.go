@@ -143,20 +143,73 @@ func NewRegistry(bufferPct float64) *Registry {
 // happens outside the registry lock (bulk-loading a large pointset is the
 // expensive part); only the install is serialized.
 func (r *Registry) Put(name string, pts []geom.Point) (*Dataset, error) {
-	if !nameRe.MatchString(name) {
-		return nil, fmt.Errorf("service: invalid dataset name %q (want %s)", name, nameRe)
+	d, err := r.PrepareIngest(name, pts)
+	if err != nil {
+		return nil, err
 	}
-	if len(pts) == 0 {
-		return nil, fmt.Errorf("service: dataset %q has no points", name)
-	}
-	d := buildDataset(name, pts, r.bufferPct)
-
 	r.mu.Lock()
 	r.versions[name]++
 	d.Version = r.versions[name]
 	r.byName[name] = d
 	r.mu.Unlock()
 	return d, nil
+}
+
+// PrepareIngest validates and builds a dataset without installing it —
+// the first half of Put, split out so the durable tier can snapshot the
+// build to disk before any reader can see it. The returned dataset has no
+// version yet; InstallIngest assigns one.
+func (r *Registry) PrepareIngest(name string, pts []geom.Point) (*Dataset, error) {
+	if !nameRe.MatchString(name) {
+		return nil, fmt.Errorf("service: invalid dataset name %q (want %s)", name, nameRe)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("service: dataset %q has no points", name)
+	}
+	return buildDataset(name, pts, r.bufferPct), nil
+}
+
+// NextVersion returns the version the next install under name will
+// assign. The prediction is exact only while the caller serializes
+// writers (the service's mutMu does); the durable tier uses it to name
+// snapshot files and WAL records before installing.
+func (r *Registry) NextVersion(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.versions[name] + 1
+}
+
+// InstallIngest installs a prepared dataset at the given version, which
+// must be the name's next one — a mismatch means another writer slipped
+// in between prepare and install, and the caller's durable state (named
+// by the predicted version) would not describe what got installed.
+func (r *Registry) InstallIngest(d *Dataset, version int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.versions[d.Name]+1 != version {
+		return fmt.Errorf("service: %w (%q: prepared as version %d, next is %d)",
+			ErrMutationConflict, d.Name, version, r.versions[d.Name]+1)
+	}
+	r.versions[d.Name] = version
+	d.Version = version
+	r.byName[d.Name] = d
+	return nil
+}
+
+// InstallRestored registers a dataset recovered from the durable store at
+// its recorded version. Restore happens at boot into an empty (or
+// strictly older) registry; a version moving backwards means the manifest
+// and the registry disagree, which is corruption, not a race.
+func (r *Registry) InstallRestored(d *Dataset) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d.Version <= r.versions[d.Name] {
+		return fmt.Errorf("service: restored %q at version %d, but the registry is already at %d",
+			d.Name, d.Version, r.versions[d.Name])
+	}
+	r.versions[d.Name] = d.Version
+	r.byName[d.Name] = d
+	return nil
 }
 
 // Get returns the current version of the named dataset.
@@ -224,48 +277,83 @@ func (m MutationSpec) size() int { return len(m.Insert) + len(m.Update) + len(m.
 // and the batch in delta.Change form — exactly what the incremental
 // join maintenance engine consumes.
 func (r *Registry) Mutate(name string, spec MutationSpec) (old, cur *Dataset, changes []delta.Change, err error) {
+	p, err := r.PrepareMutation(name, spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return r.Install(p)
+}
+
+// PreparedMutation is a validated mutation whose next version is fully
+// built but not yet visible — the seam the write-ahead log needs: the
+// durable tier logs and fsyncs the batch between PrepareMutation and
+// Install, so a crash on either side of the log record leaves either no
+// trace or a replayable record, never a half-applied batch.
+type PreparedMutation struct {
+	name    string
+	old     *Dataset
+	cur     *Dataset
+	spec    MutationSpec
+	changes []delta.Change
+}
+
+// Base is the version the mutation was prepared against.
+func (p *PreparedMutation) Base() int { return p.old.Version }
+
+// Result is the version Install will assign. Exact while writers are
+// serialized (installs bump by exactly one, and nothing can slip between
+// prepare and install under the service's writer lock).
+func (p *PreparedMutation) Result() int { return p.old.Version + 1 }
+
+// Spec returns the batch, for WAL encoding.
+func (p *PreparedMutation) Spec() MutationSpec { return p.spec }
+
+// PrepareMutation validates spec against the current version of name and
+// builds the next version beside it — everything Mutate does short of
+// installing.
+func (r *Registry) PrepareMutation(name string, spec MutationSpec) (*PreparedMutation, error) {
 	d, ok := r.Get(name)
 	if !ok {
-		return nil, nil, nil, fmt.Errorf("service: %w %q", ErrUnknownDataset, name)
+		return nil, fmt.Errorf("service: %w %q", ErrUnknownDataset, name)
 	}
 	if d.Tree.Flat() {
-		return nil, nil, nil, fmt.Errorf("service: %w: %q is served from flat storage; re-ingest to mutate", ErrDatasetImmutable, name)
+		return nil, fmt.Errorf("service: %w: %q is served from flat storage; re-ingest to mutate", ErrDatasetImmutable, name)
 	}
 	if spec.size() == 0 {
-		return nil, nil, nil, fmt.Errorf("service: %w for %q", errEmptyMutation, name)
+		return nil, fmt.Errorf("service: %w for %q", errEmptyMutation, name)
 	}
 	if spec.size() > maxMutationBatch {
-		return nil, nil, nil, fmt.Errorf("service: %w: %d changes (max %d); re-ingest instead", errMutationTooLarge, spec.size(), maxMutationBatch)
+		return nil, fmt.Errorf("service: %w: %d changes (max %d); re-ingest instead", errMutationTooLarge, spec.size(), maxMutationBatch)
 	}
 	touched := make(map[int64]bool, len(spec.Update)+len(spec.Delete))
 	for _, id := range spec.Delete {
 		if !d.alive(id) {
-			return nil, nil, nil, fmt.Errorf("service: delete of unknown point %d in %q", id, name)
+			return nil, fmt.Errorf("service: delete of unknown point %d in %q", id, name)
 		}
 		if touched[id] {
-			return nil, nil, nil, fmt.Errorf("service: point %d named twice in one batch for %q", id, name)
+			return nil, fmt.Errorf("service: point %d named twice in one batch for %q", id, name)
 		}
 		touched[id] = true
 	}
 	for _, mv := range spec.Update {
 		if !d.alive(mv.ID) {
-			return nil, nil, nil, fmt.Errorf("service: update of unknown point %d in %q", mv.ID, name)
+			return nil, fmt.Errorf("service: update of unknown point %d in %q", mv.ID, name)
 		}
 		if touched[mv.ID] {
-			return nil, nil, nil, fmt.Errorf("service: point %d named twice in one batch for %q", mv.ID, name)
+			return nil, fmt.Errorf("service: point %d named twice in one batch for %q", mv.ID, name)
 		}
 		touched[mv.ID] = true
 		if !dataset.Domain.Contains(mv.Pt) {
-			return nil, nil, nil, fmt.Errorf("service: update of point %d in %q to (%v, %v) outside the domain", mv.ID, name, mv.Pt.X, mv.Pt.Y)
+			return nil, fmt.Errorf("service: update of point %d in %q to (%v, %v) outside the domain", mv.ID, name, mv.Pt.X, mv.Pt.Y)
 		}
 	}
 	for _, p := range spec.Insert {
 		if !dataset.Domain.Contains(p) {
-			return nil, nil, nil, fmt.Errorf("service: insert at (%v, %v) outside the domain of %q", p.X, p.Y, name)
+			return nil, fmt.Errorf("service: insert at (%v, %v) outside the domain of %q", p.X, p.Y, name)
 		}
 	}
 	if d.Live+len(spec.Insert)-len(spec.Delete) < 1 {
-		return nil, nil, nil, fmt.Errorf("service: %w: %q has %d live points, batch deletes %d and inserts %d",
+		return nil, fmt.Errorf("service: %w: %q has %d live points, batch deletes %d and inserts %d",
 			errMutationEmptiesIt, name, d.Live, len(spec.Delete), len(spec.Insert))
 	}
 
@@ -284,7 +372,7 @@ func (r *Registry) Mutate(name string, spec MutationSpec) (old, cur *Dataset, ch
 			alive[i] = true
 		}
 	}
-	changes = make([]delta.Change, 0, spec.size())
+	changes := make([]delta.Change, 0, spec.size())
 	for _, id := range spec.Delete {
 		mt.DeletePoint(id, pts[id])
 		alive[id] = false
@@ -316,7 +404,7 @@ func (r *Registry) Mutate(name string, spec MutationSpec) (old, cur *Dataset, ch
 	mbuf.SetCapacity(capPages)
 	mbuf.DropAll()
 	mbuf.ResetStats()
-	cur = &Dataset{
+	cur := &Dataset{
 		Name:        name,
 		Points:      pts,
 		Alive:       alive,
@@ -328,17 +416,25 @@ func (r *Registry) Mutate(name string, spec MutationSpec) (old, cur *Dataset, ch
 	}
 	livePts, _ := cur.JoinPoints()
 	cur.Skew = grid.SkewEstimate(livePts, dataset.Domain)
+	return &PreparedMutation{name: name, old: d, cur: cur, spec: spec, changes: changes}, nil
+}
 
+// Install makes a prepared mutation the serving version. It fails with
+// ErrMutationConflict if the dataset was replaced since PrepareMutation —
+// impossible while the service's writer lock is held across both halves,
+// so a WAL record logged in between always names the version that
+// installs.
+func (r *Registry) Install(p *PreparedMutation) (old, cur *Dataset, changes []delta.Change, err error) {
 	r.mu.Lock()
-	if r.byName[name] != d {
+	if r.byName[p.name] != p.old {
 		r.mu.Unlock()
-		return nil, nil, nil, fmt.Errorf("service: %w (%q)", ErrMutationConflict, name)
+		return nil, nil, nil, fmt.Errorf("service: %w (%q)", ErrMutationConflict, p.name)
 	}
-	r.versions[name]++
-	cur.Version = r.versions[name]
-	r.byName[name] = cur
+	r.versions[p.name]++
+	p.cur.Version = r.versions[p.name]
+	r.byName[p.name] = p.cur
 	r.mu.Unlock()
-	return d, cur, changes, nil
+	return p.old, p.cur, p.changes, nil
 }
 
 // buildDataset bulk-loads pts into an R-tree on a fresh private disk and

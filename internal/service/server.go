@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -60,6 +61,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// bodyErrorStatus maps a request-body read/parse failure onto its HTTP
+// status: an http.MaxBytesReader overrun is 413 (the request was too
+// large, not malformed), anything else is the client's 400. The limit
+// error may arrive wrapped (json.Decoder and the CSV reader both pass
+// the underlying read error through), so unwrap with errors.As.
+func bodyErrorStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // writeError reports a failure as {"error": ...}.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
@@ -87,7 +101,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		var err error
 		pts, err = dataset.ReadCSV(http.MaxBytesReader(w, r.Body, maxIngestBytes))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, bodyErrorStatus(err), "%v", err)
 			return
 		}
 		pts = dataset.Normalize(pts)
@@ -148,7 +162,7 @@ func (s *Service) handleDatasets(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJoinBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad join request: %v", err)
+		writeError(w, bodyErrorStatus(err), "bad join request: %v", err)
 		return
 	}
 	if req.TopK < 0 { // the wire contract is "<= 0 returns all"

@@ -12,6 +12,7 @@ import (
 
 	"cij/internal/obs"
 	"cij/internal/obs/history"
+	"cij/internal/storage"
 )
 
 // Config tunes a Service.
@@ -53,6 +54,18 @@ type Config struct {
 	// default (history.DefaultCapacity). Sampling starts only when the
 	// caller runs History().Start (cijserver's -history-interval).
 	HistoryCapacity int
+	// DataDir, when set, makes the service durable (use Open, not New):
+	// the dataset registry persists under this directory (manifest +
+	// snapshot page files + WAL) and a cold start restores it, replaying
+	// the WAL tail.
+	DataDir string
+	// FS is the filesystem the durable store runs on; nil selects the
+	// real one (storage.OSFS). The crash tests inject storage.FaultFS.
+	FS storage.FS
+	// CheckpointWALBytes is the WAL size that triggers folding it into
+	// fresh snapshots after a mutation; <= 0 selects the default
+	// (DefaultCheckpointWALBytes).
+	CheckpointWALBytes int64
 }
 
 // Service is the CIJ query service: registry + planner + result cache
@@ -75,6 +88,12 @@ type Service struct {
 	// executes once instead of once per request.
 	flightMu sync.Mutex
 	flights  map[string]*flight
+
+	// store is the durable tier (nil without a DataDir); set once by Open
+	// before the service serves, read atomically so metric scrapes never
+	// race the attachment.
+	store    atomic.Pointer[Store]
+	recovery *RecoveryInfo
 
 	// hub fans pair-churn events out to /join/subscribe connections.
 	hub *subHub
@@ -140,6 +159,75 @@ func New(cfg Config) *Service {
 	return s
 }
 
+// Open creates a Service and, when cfg.DataDir is set, attaches the
+// durable store: prior state is restored (manifest -> snapshots -> WAL
+// tail) before the service accepts work, and every subsequent ingest and
+// mutation is made durable before it is acknowledged. With no DataDir it
+// is exactly New.
+func Open(cfg Config) (*Service, error) {
+	s := New(cfg)
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = storage.OSFS{}
+	}
+	st, info, err := openStore(fsys, cfg.DataDir, s.reg, s.metrics, s.logger)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointWALBytes > 0 {
+		st.checkpointBytes = cfg.CheckpointWALBytes
+	}
+	s.store.Store(st)
+	s.recovery = info
+	if info.CleanShutdown {
+		s.metrics.recoveryClean.Set(1)
+	} else {
+		s.metrics.recoveryClean.Set(0)
+	}
+	s.metrics.recoveryReplayed.Add(int64(info.Replayed))
+	s.metrics.recoveryStale.Add(int64(info.Stale))
+	s.metrics.walCorrupt.Add(int64(info.CorruptRecords))
+	s.logger.Info("durable store opened",
+		"data_dir", cfg.DataDir,
+		"fresh", info.Fresh,
+		"clean_shutdown", info.CleanShutdown,
+		"datasets", info.Datasets,
+		"wal_replayed", info.Replayed,
+		"wal_stale", info.Stale,
+		"wal_corrupt", info.CorruptRecords,
+		"wal_torn_tail", info.TornTail,
+	)
+	return s, nil
+}
+
+// Recovery reports what the durable store found at boot (nil without a
+// DataDir).
+func (s *Service) Recovery() *RecoveryInfo { return s.recovery }
+
+// Close flushes the durable tier: a final checkpoint folds the WAL into
+// snapshots and the manifest gets its clean-shutdown marker. Call it
+// after the HTTP server has drained; a store-less service closes as a
+// no-op.
+func (s *Service) Close() error {
+	st := s.store.Load()
+	if st == nil {
+		return nil
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	return st.close(s.reg)
+}
+
+// DrainSubscribers ends every /join/subscribe stream with a terminal
+// "closed" line, unblocking their handlers so http.Server.Shutdown can
+// finish. Call it before Shutdown: the streams are long-lived by design
+// and would otherwise hold the drain open until its deadline. Returns
+// how many subscribers were drained.
+func (s *Service) DrainSubscribers() int { return s.hub.drain() }
+
 // Journal exposes the query journal (nil when disabled) — the backing of
 // GET /debug/queries and the tests' observation source.
 func (s *Service) Journal() *Journal { return s.journal }
@@ -158,10 +246,30 @@ func (s *Service) Metrics() *obs.Registry { return s.metrics.reg }
 
 // Ingest indexes pts under name (replacing any previous version), sweeps
 // the named dataset's cached results and returns the new registry entry.
+// It serializes with mutations under mutMu — which is also what makes
+// the durable protocol sound: the snapshot written before install is
+// guaranteed to describe the version that installs.
 func (s *Service) Ingest(name string, pts []Point) (*Dataset, error) {
-	d, err := s.reg.Put(name, pts)
-	if err != nil {
-		return nil, err
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	var d *Dataset
+	if st := s.store.Load(); st != nil {
+		var err error
+		if d, err = s.reg.PrepareIngest(name, pts); err != nil {
+			return nil, err
+		}
+		version := s.reg.NextVersion(name)
+		if err := st.logIngest(d, version); err != nil {
+			return nil, fmt.Errorf("persisting dataset %q: %w", name, err)
+		}
+		if err := s.reg.InstallIngest(d, version); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if d, err = s.reg.Put(name, pts); err != nil {
+			return nil, err
+		}
 	}
 	s.cache.invalidateDataset(name)
 	s.ingests.Add(1)

@@ -26,6 +26,11 @@ type subscriber struct {
 	id          int64
 	left, right string
 	ch          chan []byte
+	// draining marks a channel the hub closed for shutdown rather than
+	// lag. Written under the hub lock strictly before close(ch) and read
+	// only after the receive of the close, so the channel itself orders
+	// the access.
+	draining bool
 }
 
 // subHub fans mutation-churn chunks out to subscribers. Publishing
@@ -62,6 +67,22 @@ func (h *subHub) remove(sub *subscriber) {
 		delete(h.subs, sub.id)
 		close(sub.ch)
 	}
+}
+
+// drain closes every subscription for shutdown: each handler wakes with
+// a terminal "closed" line (not "lagged" — the client should reconnect
+// to the next process, not assume it fell behind). Returns how many
+// subscribers were drained.
+func (h *subHub) drain() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.subs)
+	for id, sub := range h.subs {
+		sub.draining = true
+		delete(h.subs, id)
+		close(sub.ch)
+	}
+	return n
 }
 
 // count reports the open subscriptions (the cij_subscribers gauge).
@@ -174,6 +195,12 @@ func (s *Service) handleJoinSubscribe(w http.ResponseWriter, r *http.Request) {
 			return
 		case chunk, ok := <-sub.ch:
 			if !ok {
+				if sub.draining {
+					// Server shutdown: a clean goodbye, not a lag drop.
+					enc.Encode(StreamClosed{Type: "closed", Reason: "server shutting down"})
+					flush()
+					return
+				}
 				// The hub dropped us for lagging. Tell the client before
 				// closing so it knows to resubscribe and re-baseline.
 				enc.Encode(StreamLagged{Type: "lagged", Error: "event queue overflowed; resubscribe and re-baseline"})

@@ -7,6 +7,31 @@
 // paper's "page accesses" metric. The simulated disk has no latency: the
 // experiment harness can convert page counts to charged time with the
 // paper's 10 ms/page model.
+//
+// # Durability
+//
+// The in-memory Disk stays the working representation, but the package
+// also provides the primitives the service's durable tier is built from,
+// all behind the FS/File seam (fs.go) so tests can inject faults:
+//
+//   - Page files (pagefile.go): SaveDiskFile writes a Disk as one
+//     checksummed image — a CRC-framed header plus one CRC-framed frame
+//     per page, binding each checksum to its page ID — replaced
+//     atomically via WriteFileAtomic (tmp + fsync + rename + dir sync).
+//     OpenDiskFile restores a byte-identical Disk, so a reopened tree
+//     reads the same pages and counts the same I/O as the original;
+//     VerifyDiskFile is the read-only integrity check fsck uses.
+//   - Write-ahead log (wal.go): CRC-framed, fsync-gated records with a
+//     torn-tail-tolerant open scan — the expected crash shape (a partial
+//     final frame) is repaired silently, while a mid-log checksum
+//     mismatch is surfaced as corruption and the log truncated to its
+//     valid prefix.
+//   - Fault injection (faultfs.go): FaultFS is an in-memory FS that can
+//     fail or crash at any write/sync/rename, in three crash modes
+//     (lose-unsynced, keep-unsynced, torn-write). The crash-recovery
+//     matrix in internal/check drives every fault point through it.
+//
+// OSFS is the production implementation over the real filesystem.
 package storage
 
 import "fmt"

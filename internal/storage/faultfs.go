@@ -1,0 +1,447 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Errors surfaced by FaultFS fault injection. The durable tier treats any
+// FS error as "the batch did not commit"; the crash-recovery tests assert
+// that after observing one of these, a restart recovers a consistent
+// installed version.
+var (
+	// ErrCrashed is returned by every operation after an injected (or
+	// forced) crash: the process view of the filesystem is gone.
+	ErrCrashed = errors.New("storage: filesystem crashed")
+	// ErrInjectedFault is the transient failure of a FaultPlan.FailAfter
+	// injection: the operation fails once, the filesystem keeps working.
+	ErrInjectedFault = errors.New("storage: injected fault")
+)
+
+// CrashMode selects what survives an injected crash — the knob that makes
+// the recovery matrix cover both directions in which real disks betray
+// unsynced data.
+type CrashMode int
+
+const (
+	// CrashLoseUnsynced drops every write since the last Sync of each
+	// file: only explicitly synced data survives. The strictest model —
+	// recovery may rely on nothing it did not fsync.
+	CrashLoseUnsynced CrashMode = iota
+	// CrashKeepUnsynced retains all written data, synced or not: the page
+	// cache happened to reach disk. Recovery must tolerate MORE state
+	// than it fsynced (e.g. WAL records past the last acknowledged one).
+	CrashKeepUnsynced
+	// CrashTornWrite is CrashKeepUnsynced with the faulting write applied
+	// only partially (a torn sector): the classic corrupt-tail shape the
+	// WAL's CRC framing exists to detect.
+	CrashTornWrite
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case CrashLoseUnsynced:
+		return "lose-unsynced"
+	case CrashKeepUnsynced:
+		return "keep-unsynced"
+	case CrashTornWrite:
+		return "torn-write"
+	}
+	return fmt.Sprintf("CrashMode(%d)", int(m))
+}
+
+// FaultPlan schedules an injection. Fault points are the operations that
+// matter for durability — Create, OpenRW (when it creates), WriteAt,
+// Truncate, Sync, SyncDir, Rename, Remove — counted across the whole
+// filesystem in execution order.
+type FaultPlan struct {
+	// CrashAfter, when > 0, crashes the filesystem AT the Nth fault point
+	// (1-based): the operation fails with ErrCrashed (applying partially
+	// under CrashTornWrite), and every later operation fails too, until
+	// Restart.
+	CrashAfter int64
+	// Mode selects what survives a CrashAfter crash.
+	Mode CrashMode
+	// FailAfter, when > 0, makes the Nth fault point fail once with
+	// ErrInjectedFault — a transient error, not a crash; the filesystem
+	// keeps working and nothing is lost.
+	FailAfter int64
+}
+
+// memInode is one file: the volatile contents (what readers see) and the
+// synced image (what a crash preserves under CrashLoseUnsynced).
+type memInode struct {
+	data   []byte
+	synced []byte
+}
+
+// fileHandle is an open descriptor. Handles from before a crash are dead:
+// they carry the generation they were opened under, and every operation
+// re-checks it.
+type fileHandle struct {
+	fs  *FaultFS
+	ino *memInode
+	gen int64
+}
+
+// FaultFS is an in-memory filesystem with crash semantics, built for the
+// durability tests: it distinguishes volatile from synced state per file,
+// injects failures and crashes at any fault point, and can Restart into
+// exactly the state a real machine would reboot with.
+//
+// The durability model matches the contract documented on FS: directory
+// operations (Create, Rename, Remove) are atomic and immediately durable;
+// file DATA is volatile until Sync. A crash therefore never leaves a
+// half-renamed file, but may lose, keep, or tear unsynced writes
+// depending on CrashMode — precisely the envelope the WAL and the
+// write-tmp-then-rename manifest protocol are designed for.
+type FaultFS struct {
+	mu      sync.Mutex
+	files   map[string]*memInode
+	dirs    map[string]bool
+	gen     int64 // bumped at every crash; open handles die with their generation
+	ops     int64 // fault points executed
+	crashed bool
+	plan    *FaultPlan
+}
+
+// NewFaultFS creates an empty filesystem with no fault plan.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{
+		files: make(map[string]*memInode),
+		dirs:  map[string]bool{".": true, "/": true},
+	}
+}
+
+// SetPlan installs (or clears, with nil) the fault plan. The op counter
+// keeps running across plans; CrashAfter/FailAfter are absolute positions
+// in that count.
+func (fs *FaultFS) SetPlan(plan *FaultPlan) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.plan = plan
+}
+
+// Ops returns how many fault points have executed — a dry run with no
+// plan measures the workload's fault-point count, and the matrix then
+// crashes at every position.
+func (fs *FaultFS) Ops() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether the filesystem is in the post-crash state.
+func (fs *FaultFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// Crash forces an immediate crash (the kill -9 case: no faulting
+// operation, just a dead process) with the given survival mode.
+func (fs *FaultFS) Crash(mode CrashMode) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.crashed {
+		fs.crashLocked(mode, nil, nil, 0)
+	}
+}
+
+// Restart reboots a crashed filesystem: the surviving state becomes the
+// new volatile AND synced state, open handles stay dead, and operations
+// work again. It panics if the filesystem has not crashed — a restart
+// without a crash has no defined survivor set.
+func (fs *FaultFS) Restart() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.crashed {
+		panic("storage: FaultFS.Restart without a crash")
+	}
+	fs.crashed = false
+	fs.plan = nil
+}
+
+// crashLocked applies the crash: computes each file's surviving contents
+// per mode, with the in-flight write (ino/p/off) partially applied under
+// CrashTornWrite. Survivors become both volatile and synced state so a
+// later Restart reboots into them.
+func (fs *FaultFS) crashLocked(mode CrashMode, ino *memInode, p []byte, off int64) {
+	fs.crashed = true
+	fs.gen++
+	if mode == CrashTornWrite && ino != nil && len(p) > 0 {
+		// The faulting write reaches disk torn: only a prefix lands.
+		writeAtInode(ino, p[:(len(p)+1)/2], off)
+	}
+	for _, f := range fs.files {
+		if mode == CrashLoseUnsynced {
+			f.data = append([]byte(nil), f.synced...)
+		}
+		f.synced = append([]byte(nil), f.data...)
+	}
+}
+
+// faultPoint books one durability-relevant operation and returns the error
+// to inject, if any. For a crash at a write, the caller passes the inode
+// and payload so CrashTornWrite can tear it.
+func (fs *FaultFS) faultPoint(ino *memInode, p []byte, off int64) error {
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.ops++
+	if pl := fs.plan; pl != nil {
+		if pl.FailAfter > 0 && fs.ops == pl.FailAfter {
+			return ErrInjectedFault
+		}
+		if pl.CrashAfter > 0 && fs.ops == pl.CrashAfter {
+			fs.crashLocked(pl.Mode, ino, p, off)
+			return ErrCrashed
+		}
+	}
+	return nil
+}
+
+func writeAtInode(ino *memInode, p []byte, off int64) {
+	end := off + int64(len(p))
+	if int64(len(ino.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, ino.data)
+		ino.data = grown
+	}
+	copy(ino.data[off:], p)
+}
+
+func cleanPath(name string) string { return filepath.Clean(name) }
+
+// Create implements FS: a new empty inode replaces any existing one (the
+// entry is immediately durable, the contents are not).
+func (fs *FaultFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.faultPoint(nil, nil, 0); err != nil {
+		return nil, err
+	}
+	name = cleanPath(name)
+	ino := &memInode{}
+	fs.files[name] = ino
+	return &fileHandle{fs: fs, ino: ino, gen: fs.gen}, nil
+}
+
+// Open implements FS (read-only; shares the inode, so the handle sees
+// later writes like a real fd would).
+func (fs *FaultFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	ino, ok := fs.files[cleanPath(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: open %s: %w", name, errNotExist)
+	}
+	return &fileHandle{fs: fs, ino: ino, gen: fs.gen}, nil
+}
+
+// errNotExist aliases io/fs.ErrNotExist so errors.Is treats FaultFS and
+// OSFS missing-file errors identically (os errors already wrap it).
+var errNotExist = iofs.ErrNotExist
+
+// IsNotExist reports whether err means a missing file, under both OSFS
+// and FaultFS.
+func IsNotExist(err error) bool { return errors.Is(err, iofs.ErrNotExist) }
+
+// OpenRW implements FS: open-or-create without truncation.
+func (fs *FaultFS) OpenRW(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = cleanPath(name)
+	ino, ok := fs.files[name]
+	if !ok {
+		// Creating counts as a fault point (a directory-entry change);
+		// opening an existing file does not.
+		if err := fs.faultPoint(nil, nil, 0); err != nil {
+			return nil, err
+		}
+		ino = &memInode{}
+		fs.files[name] = ino
+	} else if fs.crashed {
+		return nil, ErrCrashed
+	}
+	return &fileHandle{fs: fs, ino: ino, gen: fs.gen}, nil
+}
+
+// Rename implements FS: atomic and immediately durable.
+func (fs *FaultFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.faultPoint(nil, nil, 0); err != nil {
+		return err
+	}
+	oldname, newname = cleanPath(oldname), cleanPath(newname)
+	ino, ok := fs.files[oldname]
+	if !ok {
+		return fmt.Errorf("storage: rename %s: %w", oldname, errNotExist)
+	}
+	delete(fs.files, oldname)
+	fs.files[newname] = ino
+	return nil
+}
+
+// Remove implements FS.
+func (fs *FaultFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.faultPoint(nil, nil, 0); err != nil {
+		return err
+	}
+	name = cleanPath(name)
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("storage: remove %s: %w", name, errNotExist)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// MkdirAll implements FS. Directories carry no data; creation is not a
+// fault point (the durable tier always SyncDirs after meaningful entry
+// changes).
+func (fs *FaultFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	dir = cleanPath(dir)
+	for d := dir; ; d = filepath.Dir(d) {
+		fs.dirs[d] = true
+		if d == filepath.Dir(d) {
+			break
+		}
+	}
+	return nil
+}
+
+// List implements FS.
+func (fs *FaultFS) List(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	dir = cleanPath(dir)
+	var names []string
+	for name := range fs.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS. Directory entries are already durable in this
+// model, but the call is still a fault point: a real fsync can fail or be
+// the instant of the crash.
+func (fs *FaultFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.faultPoint(nil, nil, 0)
+}
+
+// DumpPaths returns every file path, sorted — a test helper for asserting
+// on-disk layout (snapshots present, temp files cleaned up).
+func (fs *FaultFS) DumpPaths() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	paths := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		paths = append(paths, name)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+func (h *fileHandle) dead() bool { return h.fs.crashed || h.gen != h.fs.gen }
+
+func (h *fileHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dead() {
+		return 0, ErrCrashed
+	}
+	if off >= int64(len(h.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.ino.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *fileHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dead() {
+		return 0, ErrCrashed
+	}
+	if err := h.fs.faultPoint(h.ino, p, off); err != nil {
+		return 0, err
+	}
+	writeAtInode(h.ino, p, off)
+	return len(p), nil
+}
+
+func (h *fileHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dead() {
+		return ErrCrashed
+	}
+	if err := h.fs.faultPoint(nil, nil, 0); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("storage: truncate to negative size %d", size)
+	}
+	if int64(len(h.ino.data)) > size {
+		h.ino.data = h.ino.data[:size]
+	} else {
+		for int64(len(h.ino.data)) < size {
+			h.ino.data = append(h.ino.data, 0)
+		}
+	}
+	return nil
+}
+
+func (h *fileHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dead() {
+		return ErrCrashed
+	}
+	if err := h.fs.faultPoint(nil, nil, 0); err != nil {
+		return err
+	}
+	h.ino.synced = append([]byte(nil), h.ino.data...)
+	return nil
+}
+
+func (h *fileHandle) Close() error {
+	// Closing needs no fault point: close loses nothing a crash would not.
+	return nil
+}
+
+func (h *fileHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dead() {
+		return 0, ErrCrashed
+	}
+	return int64(len(h.ino.data)), nil
+}

@@ -1,0 +1,255 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFaultFSCrashLosesUnsynced(t *testing.T) {
+	fs := NewFaultFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("synced"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("VOLATILE"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.Crash(CrashLoseUnsynced)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write on crashed fs: %v, want ErrCrashed", err)
+	}
+	fs.Restart()
+
+	// The pre-crash handle stays dead even after restart.
+	if _, err := f.Size(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle after restart: %v, want ErrCrashed", err)
+	}
+	got, err := ReadFileAll(fs, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "synced" {
+		t.Fatalf("survivor = %q, want the synced image", got)
+	}
+}
+
+func TestFaultFSCrashKeepsUnsynced(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.Create("a")
+	if _, err := f.WriteAt([]byte("unsynced"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash(CrashKeepUnsynced)
+	fs.Restart()
+	got, err := ReadFileAll(fs, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "unsynced" {
+		t.Fatalf("survivor = %q, want unsynced data kept", got)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.Create("a")
+	// Crash AT the next write (op 2: Create was op 1): it must land torn.
+	fs.SetPlan(&FaultPlan{CrashAfter: 2, Mode: CrashTornWrite})
+	if _, err := f.WriteAt([]byte("0123456789"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("faulting write: %v, want ErrCrashed", err)
+	}
+	fs.Restart()
+	got, err := ReadFileAll(fs, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("torn write landed %q, want the 5-byte prefix", got)
+	}
+}
+
+func TestFaultFSTransientFailure(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.Create("a")
+	fs.SetPlan(&FaultPlan{FailAfter: 2})
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("injected failure: %v, want ErrInjectedFault", err)
+	}
+	// Transient: the retry succeeds and nothing was lost.
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	if fs.Crashed() {
+		t.Fatalf("transient fault crashed the filesystem")
+	}
+}
+
+func TestFaultFSRenameAtomicDurable(t *testing.T) {
+	fs := NewFaultFS()
+	if err := WriteFileAtomic(fs, "cfg", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(fs, "cfg", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	// Renames are durable without any sync: a straight crash keeps "new".
+	fs.Crash(CrashLoseUnsynced)
+	fs.Restart()
+	got, err := ReadFileAll(fs, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("post-crash contents = %q, want %q", got, "new")
+	}
+}
+
+// TestWriteFileAtomicCrashMatrix is the core atomicity property: crash at
+// EVERY fault point of an atomic replace, under every crash mode, and the
+// path must afterwards hold either the complete old or the complete new
+// contents — never a mixture, never the temp file as the live name.
+func TestWriteFileAtomicCrashMatrix(t *testing.T) {
+	oldData := bytes.Repeat([]byte("old!"), 64)
+	newData := bytes.Repeat([]byte("neww"), 80)
+
+	// Dry run to count fault points of the replace.
+	dry := NewFaultFS()
+	if err := WriteFileAtomic(dry, "cfg", oldData); err != nil {
+		t.Fatal(err)
+	}
+	base := dry.Ops()
+	if err := WriteFileAtomic(dry, "cfg", newData); err != nil {
+		t.Fatal(err)
+	}
+	steps := dry.Ops() - base
+	if steps < 4 {
+		t.Fatalf("atomic replace has %d fault points, expected at least create/write/sync/rename", steps)
+	}
+
+	for _, mode := range []CrashMode{CrashLoseUnsynced, CrashKeepUnsynced, CrashTornWrite} {
+		for k := int64(1); k <= steps; k++ {
+			fs := NewFaultFS()
+			if err := WriteFileAtomic(fs, "cfg", oldData); err != nil {
+				t.Fatal(err)
+			}
+			fs.SetPlan(&FaultPlan{CrashAfter: fs.Ops() + k, Mode: mode})
+			err := WriteFileAtomic(fs, "cfg", newData)
+			if k < steps && !errors.Is(err, ErrCrashed) {
+				t.Fatalf("mode=%v k=%d: err = %v, want ErrCrashed", mode, k, err)
+			}
+			if !fs.Crashed() {
+				// Crash scheduled at the final fault point may land after the
+				// replace completed its durability work; treat as done.
+				continue
+			}
+			fs.Restart()
+			got, rerr := ReadFileAll(fs, "cfg")
+			if rerr != nil {
+				t.Fatalf("mode=%v k=%d: cfg unreadable after crash: %v", mode, k, rerr)
+			}
+			if !bytes.Equal(got, oldData) && !bytes.Equal(got, newData) {
+				t.Fatalf("mode=%v k=%d: cfg is neither old nor new (%d bytes)", mode, k, len(got))
+			}
+		}
+	}
+}
+
+// TestWALCrashMatrix drives the WAL's own commit protocol through every
+// crash position: records synced before the crash must survive; the log
+// must always reopen cleanly (torn tails dropped, never an error).
+func TestWALCrashMatrix(t *testing.T) {
+	recs := [][]byte{
+		bytes.Repeat([]byte("a"), 100),
+		bytes.Repeat([]byte("b"), 500),
+		bytes.Repeat([]byte("c"), 33),
+	}
+	appendAll := func(fs *FaultFS) (acked int, _ error) {
+		w, _, err := OpenWAL(fs, "wal")
+		if err != nil {
+			return 0, err
+		}
+		defer w.Close()
+		for _, r := range recs {
+			if err := w.Append(r); err != nil {
+				return acked, err
+			}
+			if err := w.Sync(); err != nil {
+				return acked, err
+			}
+			acked++
+		}
+		return acked, nil
+	}
+
+	dry := NewFaultFS()
+	if _, err := appendAll(dry); err != nil {
+		t.Fatal(err)
+	}
+	steps := dry.Ops()
+
+	for _, mode := range []CrashMode{CrashLoseUnsynced, CrashKeepUnsynced, CrashTornWrite} {
+		for k := int64(1); k <= steps; k++ {
+			fs := NewFaultFS()
+			fs.SetPlan(&FaultPlan{CrashAfter: k, Mode: mode})
+			acked, err := appendAll(fs)
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("mode=%v k=%d: err = %v, want ErrCrashed", mode, k, err)
+			}
+			fs.Restart()
+			_, res, oerr := OpenWAL(fs, "wal")
+			if oerr != nil {
+				t.Fatalf("mode=%v k=%d: reopen after crash: %v", mode, k, oerr)
+			}
+			if len(res.Records) < acked {
+				t.Fatalf("mode=%v k=%d: recovered %d records, %d were acknowledged",
+					mode, k, len(res.Records), acked)
+			}
+			for i := 0; i < len(res.Records) && i < len(recs); i++ {
+				if !bytes.Equal(res.Records[i], recs[i]) {
+					t.Fatalf("mode=%v k=%d: record %d corrupted after recovery", mode, k, i)
+				}
+			}
+			if res.CorruptRecords > 0 && mode != CrashTornWrite {
+				t.Fatalf("mode=%v k=%d: checksum corruption without torn writes", mode, k)
+			}
+		}
+	}
+}
+
+func TestFaultFSListAndRemove(t *testing.T) {
+	fs := NewFaultFS()
+	if err := fs.MkdirAll("dir/sub"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"dir/b", "dir/a", "dir/sub/c"} {
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	names, err := fs.List("dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("List(dir) = %v, want [a b]", names)
+	}
+	if err := fs.Remove("dir/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("dir/a"); !IsNotExist(err) {
+		t.Fatalf("double remove: %v, want not-exist", err)
+	}
+	if _, err := fs.Open("missing"); !IsNotExist(err) {
+		t.Fatalf("open missing: %v, want not-exist", err)
+	}
+}

@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem seam of the durable tier. Every byte the page
+// store, the WAL and the manifest persist goes through this interface, so
+// the crash-recovery tests can substitute a fault-injecting in-memory
+// implementation (FaultFS) and exercise a crash at every write, fsync and
+// rename point, while production runs on OSFS.
+//
+// The durability contract the recovery protocol assumes — and FaultFS
+// models — is the POSIX one:
+//
+//   - File data reaches stable storage only at Sync. A crash may lose (or
+//     keep, or tear) any write that was not followed by a Sync.
+//   - Rename is atomic: after a crash the name refers to either the old
+//     or the new file, never a mixture. Combined with "write tmp, sync
+//     tmp, rename, sync dir" this yields atomic whole-file replacement.
+//   - Directory entries (Create, Rename, Remove) are durable after
+//     SyncDir on the containing directory.
+type FS interface {
+	// Create opens name for read/write, truncating it if it exists.
+	Create(name string) (File, error)
+	// Open opens name read-only; it fails if the file does not exist.
+	Open(name string) (File, error)
+	// OpenRW opens name for read/write, creating it (empty) when absent
+	// and leaving existing contents alone. The WAL opens through it.
+	OpenRW(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file. Removing a missing file is an error.
+	Remove(name string) error
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string) error
+	// List returns the names (not paths) of the entries of dir, sorted.
+	List(dir string) ([]string, error)
+	// SyncDir makes dir's entries (creations, renames, removals) durable.
+	SyncDir(dir string) error
+}
+
+// File is the handle surface the durable tier needs: positional reads and
+// writes (pread/pwrite — no shared cursor, so readers never race an
+// appender), truncation, fsync and size.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Size() (int64, error)
+}
+
+// OSFS is the production FS: the real filesystem through package os.
+type OSFS struct{}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+func (o osFile) Truncate(size int64) error                { return o.f.Truncate(size) }
+func (o osFile) Sync() error                              { return o.f.Sync() }
+func (o osFile) Close() error                             { return o.f.Close() }
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// OpenRW implements FS.
+func (OSFS) OpenRW(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS: fsync on the directory handle, the POSIX way to
+// make renames and creations durable.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteFileAtomic replaces path with data using the crash-safe sequence:
+// write to a sibling temp file, fsync it, rename over path, fsync the
+// directory. After any crash the name holds either the complete old or the
+// complete new contents.
+func WriteFileAtomic(fs FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
+}
+
+// ReadFileAll reads the entire contents of path through fs.
+func ReadFileAll(fs FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, size)
+	if size == 0 {
+		return data, nil
+	}
+	n, err := f.ReadAt(data, 0)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if int64(n) != size {
+		return nil, fmt.Errorf("storage: short read of %s: %d of %d bytes", path, n, size)
+	}
+	return data, nil
+}

@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync/atomic"
+)
+
+// Write-ahead log: an append-only sequence of CRC-framed records over an
+// FS file. Each record is one atomic unit (the durable tier logs one
+// mutation batch per record); a record is on the books only once Append
+// AND Sync have both returned, which is why the service fsyncs the WAL
+// before installing a mutation and before acknowledging it.
+//
+//	frame: [4B length LE][4B CRC-32C of payload][payload]
+//
+// The scan at open is torn-tail tolerant: a crash mid-append leaves a
+// truncated final frame (or, on disks that tear sectors, a complete
+// frame with a mismatched checksum). Either way the scan stops at the
+// last intact record, reports what it dropped, and truncates the file
+// there so subsequent appends extend a clean tail.
+const (
+	walFrameHeader = 8
+	// maxWALRecord bounds a single record; anything larger is framing
+	// corruption, not data (a mutation batch encodes in kilobytes).
+	maxWALRecord = 64 << 20
+)
+
+// WAL is an open write-ahead log positioned at its append tail. Appends
+// are single-writer; Size is safe to read concurrently (metrics scrape
+// it while the writer holds its own lock).
+type WAL struct {
+	f    File
+	path string
+	off  atomic.Int64 // append offset == byte length of the valid prefix
+}
+
+// WALOpenResult reports what the open-time scan found.
+type WALOpenResult struct {
+	// Records are the intact records, in append order.
+	Records [][]byte
+	// CorruptRecords counts complete-looking frames whose checksum (or
+	// framing) failed — the scan stops at the first one.
+	CorruptRecords int
+	// TornTail reports an incomplete final frame: the expected shape of a
+	// crash mid-append, distinct from checksum corruption.
+	TornTail bool
+	// DroppedBytes is how much the file was truncated by (torn tail and
+	// anything after a corrupt frame).
+	DroppedBytes int64
+}
+
+// OpenWAL opens (creating if absent) the log at path, scans it, truncates
+// the invalid tail, and returns the log positioned for appends plus the
+// scan's findings.
+func OpenWAL(fs FS, path string) (*WAL, *WALOpenResult, error) {
+	f, err := fs.OpenRW(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	res, off, err := scanWALFrames(f, size)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: %s: scanning WAL: %w", path, err)
+	}
+	if off < size {
+		// Cut the invalid tail so the next append extends a clean log; a
+		// failure here is a real I/O error, not tolerable corruption.
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: %s: truncating WAL tail: %w", path, err)
+		}
+	}
+	w := &WAL{f: f, path: path}
+	w.off.Store(off)
+	return w, res, nil
+}
+
+// scanWALFrames walks the frames from offset 0, collecting intact records
+// and classifying whatever stops the scan (torn tail vs checksum/framing
+// corruption). It returns the scan findings and the end of the valid
+// prefix. Read errors are real I/O failures, not tolerable corruption.
+func scanWALFrames(f File, size int64) (*WALOpenResult, int64, error) {
+	res := &WALOpenResult{}
+	var off int64
+	for off < size {
+		var hdr [walFrameHeader]byte
+		if size-off < walFrameHeader {
+			res.TornTail = true
+			break
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil && err != io.EOF {
+			return nil, 0, err
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if n == 0 || n > maxWALRecord {
+			// Length 0 (stale zero-fill) or an implausible size: framing
+			// corruption, not a record.
+			res.CorruptRecords++
+			break
+		}
+		if size-off-walFrameHeader < n {
+			res.TornTail = true
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, off+walFrameHeader); err != nil && err != io.EOF {
+			return nil, 0, err
+		}
+		if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+			res.CorruptRecords++
+			break
+		}
+		res.Records = append(res.Records, payload)
+		off += walFrameHeader + n
+	}
+	res.DroppedBytes = size - off
+	return res, off, nil
+}
+
+// Append writes one record frame at the tail. It does NOT sync; callers
+// group appends and call Sync at their commit point (the service syncs
+// once per mutation batch).
+func (w *WAL) Append(rec []byte) error {
+	if len(rec) == 0 || len(rec) > maxWALRecord {
+		return fmt.Errorf("storage: WAL record of %d bytes (want 1..%d)", len(rec), maxWALRecord)
+	}
+	frame := make([]byte, walFrameHeader+len(rec))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(rec, crcTable))
+	copy(frame[walFrameHeader:], rec)
+	off := w.off.Load()
+	if _, err := w.f.WriteAt(frame, off); err != nil {
+		// The frame may be partially on disk — exactly the torn tail the
+		// next open's scan drops. The append offset stays put, so a
+		// successful retry overwrites the torn frame.
+		return err
+	}
+	w.off.Store(off + int64(len(frame)))
+	return nil
+}
+
+// Sync makes every appended record durable. A record is committed only
+// after Sync returns.
+func (w *WAL) Sync() error { return w.f.Sync() }
+
+// Trim empties the log after a checkpoint has folded its records into
+// durable snapshots, then syncs the truncation. Safe ordering is the
+// caller's job: Trim only after the checkpoint manifest is durable. (If
+// the crash comes between the two, replay sees stale records and skips
+// them by version — idempotent recovery.)
+func (w *WAL) Trim() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	w.off.Store(0)
+	return w.f.Sync()
+}
+
+// Size returns the byte length of the valid log (header-inclusive).
+func (w *WAL) Size() int64 { return w.off.Load() }
+
+// Close closes the underlying file without syncing.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// ScanWAL reads the log at path read-only and reports the same findings
+// as OpenWAL without truncating or holding the file open — fsck's view.
+func ScanWAL(fs FS, path string) (*WALOpenResult, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		if IsNotExist(err) {
+			return &WALOpenResult{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := scanWALFrames(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: scanning WAL: %w", path, err)
+	}
+	return res, nil
+}
